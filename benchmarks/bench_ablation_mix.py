@@ -1,0 +1,20 @@
+"""Bench A4 — ablation: job-mix sensitivity of the facility saving.
+
+The facility-level response to the frequency intervention depends on the
+research mix. All variants must still save >8 %; savings stay within a
+few points of each other because curated resets shield the most
+frequency-sensitive codes in every mix.
+"""
+
+from repro.experiments.ablations import run_a4
+
+
+def test_ablation_mix_sensitivity(once):
+    result = once(run_a4)
+    print()
+    print(result.table)
+    h = result.headline
+    for key in ("archer2_relative_saving", "compute_heavy_relative_saving", "memory_heavy_relative_saving"):
+        assert h[key] > 0.08, key
+    spread = max(h.values()) - min(h.values())
+    assert spread < 0.06

@@ -1,0 +1,18 @@
+"""Bench A3 — ablation: the per-application module-reset policy (§4.2).
+
+Compares facility savings from the frequency change under curated resets
+(service practice), full-policy resets (every >10 % app) and no resets.
+Shape: no resets saves the most power, full resets the least; curated sits
+between — and the spread quantifies the performance-protection cost.
+"""
+
+from repro.experiments.ablations import run_a3
+
+
+def test_ablation_reset_policy(once):
+    result = once(run_a3)
+    print()
+    print(result.table)
+    h = result.headline
+    assert h["no_resets_saving_kw"] > h["curated_saving_kw"] > h["full_policy_saving_kw"]
+    assert h["no_resets_saving_kw"] > 300.0

@@ -1,0 +1,18 @@
+"""Bench A1 — ablation: utilisation sensitivity (§5 observation).
+
+Idle nodes draw ~50 % of loaded power and switches are ~80 % load-invariant,
+so the energy charged per delivered node-hour climbs steeply below ~90 %
+utilisation.
+"""
+
+from repro.experiments.ablations import run_a1
+
+
+def test_ablation_utilisation(benchmark):
+    result = benchmark(run_a1)
+    print()
+    print(result.table)
+    h = result.headline
+    assert h["kwh_per_nodeh_at_50pct"] > 1.4 * h["kwh_per_nodeh_at_100pct"]
+    assert h["switch_load_invariance"] > 0.75
+    assert abs(h["node_idle_fraction"] - 0.5) < 0.1

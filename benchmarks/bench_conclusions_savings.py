@@ -1,0 +1,19 @@
+"""Bench C1 — regenerate the paper's §5 headline savings.
+
+One continuous campaign through both interventions. Shape criteria:
+cumulative saving ≈ 21 % of the 3,220 kW baseline (paper: −690 kW), with the
+frequency change the larger lever (−480 kW vs −210 kW).
+"""
+
+from repro.experiments.conclusions import run
+
+
+def test_conclusions_combined_savings(once):
+    result = once(run)
+    print()
+    print(result.table)
+    h = result.headline
+    assert abs(h["baseline_kw"] - 3220.0) / 3220.0 < 0.05
+    assert abs(h["total_relative_saving"] - h["paper_total_relative_saving"]) < 0.05
+    assert h["freq_saving_kw"] > h["bios_saving_kw"]
+    assert h["post_freq_kw"] < h["post_bios_kw"] < h["baseline_kw"]

@@ -1,0 +1,52 @@
+"""Benches E1–E5 — the paper's future-work directions, quantified.
+
+Not reproductions of published artefacts (the paper defers these studies),
+but the same harness discipline: print the table, assert the shape.
+"""
+
+from repro.experiments.extensions import run_e1, run_e2, run_e3, run_e4, run_e5, run_e6
+
+
+def test_e1_demand_response(once):
+    result = once(run_e1)
+    print()
+    print(result.table)
+    assert 0.03 < result.headline["shed_depth"] < 0.35
+
+
+def test_e2_toolchain_policy(benchmark):
+    result = benchmark(run_e2)
+    print()
+    print(result.table)
+    assert result.headline["vector_resets"] <= result.headline["baseline_resets"]
+
+
+def test_e3_surrogates(benchmark):
+    result = benchmark(run_e3)
+    print()
+    print(result.table)
+    assert result.headline["aggressive_energy_ratio"] < 0.6
+
+
+def test_e4_carbon_shifting(once):
+    result = once(run_e4)
+    print()
+    print(result.table)
+    assert 0.0 < result.headline["saving_at_30pct"] < 0.15
+
+
+def test_e5_coolant_setpoint(benchmark):
+    result = benchmark(run_e5)
+    print()
+    print(result.table)
+    assert result.headline["optimum_is_free_cooling"] == 1.0
+
+
+def test_e6_power_cap(benchmark):
+    result = benchmark(run_e6)
+    print()
+    print(result.table)
+    h = result.headline
+    assert h["n_throttled"] >= 2
+    assert h["n_uncapped"] >= 2
+    assert h["best_perf_ratio"] == 1.0

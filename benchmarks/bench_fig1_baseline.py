@@ -1,0 +1,18 @@
+"""Bench F1 — regenerate paper Figure 1 (baseline power, Dec 21 – Apr 22).
+
+Five-month ARCHER2-scale campaign including the Christmas arrival dip.
+Shape criteria: mean within 5 % of 3,220 kW at >90 % utilisation, sitting
+below the Table 2 full-load bound.
+"""
+
+from repro.experiments.fig1 import run
+
+
+def test_fig1_baseline(once):
+    result = once(run)
+    print()
+    print(result.table)
+    h = result.headline
+    assert abs(h["relative_error"]) < 0.05
+    assert h["utilisation"] > 0.90
+    assert h["fraction_of_loaded"] < 1.0

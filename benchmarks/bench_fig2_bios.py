@@ -1,0 +1,17 @@
+"""Bench F2 — regenerate paper Figure 2 (BIOS change, Apr–May 22).
+
+Shape criteria: ~6–7 % cabinet-power drop at the change point (paper:
+3,220 → 3,010 kW, −6.5 %), recoverable blind from the telemetry.
+"""
+
+from repro.experiments.fig2 import run
+
+
+def test_fig2_bios_change(once):
+    result = once(run)
+    print()
+    print(result.table)
+    h = result.headline
+    assert abs(h["mean_before_kw"] - 3220.0) / 3220.0 < 0.05
+    assert 0.04 < h["relative_saving"] < 0.10
+    assert abs(h["detected_change_day"] - h["true_change_day"]) < 2.0

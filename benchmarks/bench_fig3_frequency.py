@@ -1,0 +1,19 @@
+"""Bench F3 — regenerate paper Figure 3 (frequency change, Nov–Dec 22).
+
+Shape criteria: before-mean near 3,010 kW; 11–18 % drop at the change
+(paper: 3,010 → 2,530 kW, −16 %); a substantial share of node-hours moved
+to the 2.0 GHz default despite curated module resets.
+"""
+
+from repro.experiments.fig3 import run
+
+
+def test_fig3_frequency_change(once):
+    result = once(run)
+    print()
+    print(result.table)
+    h = result.headline
+    assert abs(h["mean_before_kw"] - 3010.0) / 3010.0 < 0.05
+    assert 0.11 < h["relative_saving"] < 0.18
+    assert h["low_freq_nodeh_share"] > 0.25
+    assert abs(h["detected_change_day"] - h["true_change_day"]) < 2.0

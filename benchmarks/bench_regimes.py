@@ -1,0 +1,19 @@
+"""Bench R1 — regenerate the §2 emissions-regime analysis.
+
+Shape criterion: the scope-2/scope-3 balance of an ARCHER2-scale facility
+must reproduce the paper's regime boundaries — the derived balanced band
+brackets [30, 100] gCO₂/kWh with the crossover mid-band.
+"""
+
+from repro.experiments.regimes_demo import run
+
+
+def test_regime_scenarios(benchmark):
+    result = benchmark(run)
+    print()
+    print(result.table)
+    h = result.headline
+    assert h["brackets_paper_band"] == 1.0
+    assert 40.0 < h["crossover_ci"] < 70.0
+    assert h["derived_low_ci"] < h["paper_low_ci"] * 1.5
+    assert h["derived_high_ci"] > h["paper_high_ci"] * 0.67

@@ -1,0 +1,13 @@
+"""Bench T1 — regenerate paper Table 1 (hardware summary)."""
+
+from repro.experiments.table1 import run
+
+
+def test_table1_inventory(benchmark):
+    result = benchmark(run)
+    print()
+    print(result.table)
+    h = result.headline
+    assert h["nodes"] == h["paper_nodes"]
+    assert h["cores"] == h["paper_cores"]
+    assert h["switches"] == h["paper_switches"]

@@ -1,0 +1,19 @@
+"""Bench T2 — regenerate paper Table 2 (per-component power draw).
+
+Shape criteria: compute nodes ≈ 86 % of loaded power, switches ≈ 6 %,
+storage ≈ 1 %; totals ≈ 1,800 kW idle / 3,500 kW loaded.
+"""
+
+from repro.experiments.table2 import run
+
+
+def test_table2_components(benchmark):
+    result = benchmark(run)
+    print()
+    print(result.table)
+    h = result.headline
+    assert abs(h["compute_node_share"] - 0.86) < 0.02
+    assert abs(h["switch_share"] - 0.06) < 0.015
+    assert abs(h["filesystem_share"] - 0.01) < 0.01
+    assert abs(h["total_idle_kw"] - 1800.0) / 1800.0 < 0.02
+    assert abs(h["total_loaded_kw"] - 3500.0) / 3500.0 < 0.02

@@ -1,0 +1,16 @@
+"""Bench T3 — regenerate paper Table 3 (BIOS determinism ratios).
+
+Shape criteria: perf ratios ≥ 0.99 (≤1 % cost), energy ratios 0.90–0.94.
+"""
+
+from repro.experiments.table3 import run
+
+
+def test_table3_bios(benchmark):
+    result = benchmark(run)
+    print()
+    print(result.table)
+    h = result.headline
+    assert h["max_perf_loss"] <= 0.015
+    assert 0.88 <= h["min_energy_ratio"]
+    assert h["max_energy_ratio"] <= 0.96

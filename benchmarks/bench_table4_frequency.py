@@ -1,0 +1,20 @@
+"""Bench T4 — regenerate paper Table 4 (2.0 GHz vs 2.25 GHz+turbo).
+
+Shape criteria: perf ratios span 0.74–0.95 with LAMMPS most affected and
+VASP CdTe least; every app saves energy at 2.0 GHz (all energy ratios < 1).
+"""
+
+from repro.experiments.table4 import run
+
+
+def test_table4_frequency(benchmark):
+    result = benchmark(run)
+    print()
+    print(result.table)
+    h = result.headline
+    assert h["most_affected_is_lammps"] == 1.0
+    assert h["least_affected_is_vasp"] == 1.0
+    assert abs(h["min_perf_ratio"] - 0.74) < 0.02
+    assert abs(h["max_perf_ratio"] - 0.95) < 0.02
+    assert h["max_energy_ratio"] < 1.0
+    assert h["mean_abs_energy_error"] < 0.06

@@ -1,0 +1,20 @@
+"""Benchmark-harness configuration.
+
+Each benchmark regenerates one paper artefact (table or figure), prints the
+same rows the paper reports, and asserts the shape criteria from DESIGN.md §4.
+Campaign benchmarks run a single round — they are month-scale facility
+simulations, and the quantity of interest is the reproduced physics, not the
+wall-clock of the harness itself.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benchmarked callable exactly once and return its result."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

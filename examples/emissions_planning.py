@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""Emissions planning: choose an operating point from declared priorities.
+
+Walks the full §2 + §5 decision methodology:
+
+1. Sweep grid carbon intensity and show which emissions scope dominates.
+2. Show how the regime boundaries move with the embodied-emissions audit
+   and the service lifetime (the sensitivity the paper defers to future work).
+3. Run the priority-weighted decision engine for three different services —
+   a hyperscale green-grid site, ARCHER2 in Winter 2022, and a coal-grid
+   site — and print the recommended frequency/BIOS configuration for each.
+
+Run:  python examples/emissions_planning.py
+"""
+
+import numpy as np
+
+from repro.analysis.scenarios import (
+    ci_sweep,
+    lifetime_sensitivity,
+    regime_boundaries_map,
+)
+from repro.core.decision import ARCHER2_WINTER_2022, DecisionEngine, Priorities
+from repro.core.emissions import EmbodiedProfile, EmissionsModel
+from repro.core.reporting import render_table
+from repro.node import build_node_model
+from repro.workload import archer2_mix
+
+MEAN_POWER_KW = 3500.0
+
+
+def main() -> None:
+    emissions = EmissionsModel(
+        embodied=EmbodiedProfile(total_tco2e=10_000.0, lifetime_years=6.0),
+        mean_power_kw=MEAN_POWER_KW,
+    )
+
+    # -- 1. regime sweep -------------------------------------------------------
+    points = ci_sweep(emissions, np.array([5.0, 25.0, 55.0, 100.0, 190.0, 600.0]))
+    rows = [
+        [
+            f"{p.ci_g_per_kwh:.0f}",
+            f"{p.scope2_share * 100:.0f}%",
+            p.regime.value,
+            p.target.value,
+        ]
+        for p in points
+    ]
+    print(
+        render_table(
+            ["CI (g/kWh)", "Scope-2 share", "Regime", "Optimise for"],
+            rows,
+            title="Section 2 regimes for an ARCHER2-scale facility",
+        )
+    )
+
+    # -- 2. sensitivity of the boundaries ---------------------------------------
+    print()
+    life_rows = [
+        [f"{life:.0f} years", f"{crossover:.0f} g/kWh"]
+        for life, crossover in lifetime_sensitivity(
+            MEAN_POWER_KW, 10_000.0, np.array([4.0, 6.0, 8.0, 10.0])
+        ).items()
+    ]
+    print(
+        render_table(
+            ["Service lifetime", "Scope-2/3 crossover"],
+            life_rows,
+            title="Longer service lives push towards performance-first operation",
+        )
+    )
+    print()
+    audit_rows = [
+        [
+            f"{row['embodied_tco2e']:,.0f} t",
+            f"{row['low_ci']:.0f}",
+            f"{row['crossover_ci']:.0f}",
+            f"{row['high_ci']:.0f}",
+        ]
+        for row in regime_boundaries_map(
+            MEAN_POWER_KW, np.array([5_000.0, 10_000.0, 20_000.0])
+        )
+    ]
+    print(
+        render_table(
+            ["Embodied estimate", "Low (g/kWh)", "Crossover", "High (g/kWh)"],
+            audit_rows,
+            title="Derived balanced band vs the (uncertain) embodied audit — paper band [30, 100]",
+        )
+    )
+
+    # -- 3. decision engine -------------------------------------------------------
+    node_model = build_node_model()
+    mix = archer2_mix()
+    services = {
+        "green-grid site (15 g/kWh)": (
+            15.0,
+            Priorities(
+                energy_efficiency=1.0,
+                emissions_efficiency=2.0,
+                cost=1.0,
+                performance=3.0,
+                min_performance_ratio=0.95,
+            ),
+        ),
+        "ARCHER2 winter 2022 (190 g/kWh)": (190.0, ARCHER2_WINTER_2022),
+        "coal-grid site (600 g/kWh)": (
+            600.0,
+            Priorities(
+                energy_efficiency=3.0,
+                emissions_efficiency=3.0,
+                cost=2.0,
+                performance=0.5,
+                min_performance_ratio=0.6,
+            ),
+        ),
+    }
+    print()
+    rows = []
+    for label, (ci, priorities) in services.items():
+        engine = DecisionEngine(
+            mix=mix,
+            node_model=node_model,
+            emissions_model=emissions,
+            ci_g_per_kwh=ci,
+        )
+        best = engine.recommend(priorities)
+        rows.append(
+            [
+                label,
+                best.config.label(),
+                f"{best.mean_perf_ratio:.2f}",
+                f"{best.mean_energy_ratio:.2f}",
+                f"{best.emissions_ratio:.2f}",
+            ]
+        )
+    print(
+        render_table(
+            ["Service", "Recommended config", "Perf", "Energy", "Emissions/output"],
+            rows,
+            title="Section 5 decision framework: priorities -> operating point",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

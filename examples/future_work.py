@@ -1,0 +1,144 @@
+#!/usr/bin/env python
+"""Future-work studies from the paper's §5, made runnable.
+
+The paper closes with three research directions. This example runs the
+library's model of each:
+
+1. **Compiler/library choice vs CPU frequency** — how a toolchain shifts
+   each benchmark's frequency sensitivity and its §4.2 policy outcome.
+2. **AI surrogates** — replacing part of a climate model with a learned
+   surrogate: per-run savings and the training-energy break-even.
+3. **Demand response** — frequency modulation during grid stress windows:
+   depth and latency of the achievable shed.
+
+Run:  python examples/future_work.py
+"""
+
+import numpy as np
+
+from repro.core.reporting import render_table
+from repro.core.surrogate import SurrogateScenario, evaluate_surrogate
+from repro.grid.events import GridStressEvent
+from repro.node import DeterminismMode, build_node_model
+from repro.scheduler import (
+    BackfillScheduler,
+    DemandResponseEnvironment,
+    StaticEnvironment,
+    response_latency_estimate,
+)
+from repro.workload import (
+    REFERENCE_TOOLCHAINS,
+    apply_toolchain,
+    archer2_mix,
+    paper_frequency_benchmarks,
+    synthetic_archetypes,
+)
+from repro.workload.generator import JobStreamConfig, JobStreamGenerator
+from repro.units import SECONDS_PER_DAY
+
+
+def toolchain_study() -> None:
+    apps = paper_frequency_benchmarks()
+    rows = []
+    for app in apps.values():
+        cells = [app.name]
+        for name in ("baseline-gnu", "vendor-tuned", "vector-aggressive"):
+            rebuilt = apply_toolchain(app, REFERENCE_TOOLCHAINS[name])
+            impact = 1.0 - rebuilt.roofline.perf_ratio(2.0)
+            resets = impact > 0.10
+            cells.append(f"{impact * 100:.0f}%{' (reset)' if resets else ''}")
+        rows.append(cells)
+    print(
+        render_table(
+            ["Benchmark", "gnu", "vendor-tuned", "vector-aggressive"],
+            rows,
+            title="1. Perf impact of the 2.0 GHz cap per toolchain "
+            "((reset) = above the 10% module-reset threshold)",
+        )
+    )
+
+
+def surrogate_study() -> None:
+    node_model = build_node_model()
+    climate = synthetic_archetypes()["Climate/Ocean archetype"]
+    rows = []
+    for replaced, speedup, training in (
+        (0.2, 5.0, 2_000.0),
+        (0.4, 10.0, 10_000.0),
+        (0.6, 20.0, 50_000.0),
+    ):
+        scenario = SurrogateScenario(
+            replaced_fraction=replaced,
+            surrogate_speedup=speedup,
+            training_energy_kwh=training,
+        )
+        outcome = evaluate_surrogate(climate, scenario, node_model, n_nodes=64)
+        rows.append(
+            [
+                f"{replaced:.0%} @ {speedup:.0f}x",
+                f"{outcome.perf_ratio:.2f}x",
+                f"{outcome.energy_ratio:.2f}",
+                f"{outcome.per_run_saving_kwh:,.0f} kWh",
+                f"{outcome.breakeven_runs:,.0f} runs",
+            ]
+        )
+    print()
+    print(
+        render_table(
+            ["Surrogate", "Speedup", "Energy ratio", "Per-run saving", "Training break-even"],
+            rows,
+            title="2. AI-surrogate replacement of a 64-node climate model",
+        )
+    )
+
+
+def demand_response_study() -> None:
+    rng = np.random.default_rng(11)
+    n_nodes = 512
+    mix = archer2_mix()
+    stream = JobStreamConfig(
+        n_facility_nodes=n_nodes, max_job_nodes=128, mean_runtime_s=6 * 3600.0
+    )
+    jobs = JobStreamGenerator(mix, stream, rng).generate_until(4 * SECONDS_PER_DAY)
+    inner = StaticEnvironment(
+        node_model=build_node_model(), mode=DeterminismMode.PERFORMANCE
+    )
+    event = GridStressEvent(
+        start_s=2 * SECONDS_PER_DAY,
+        duration_s=12 * 3600.0,
+        severity=1.0,
+        requested_reduction_kw=30.0,
+    )
+    responsive = DemandResponseEnvironment(inner=inner, events=[event])
+
+    normal = BackfillScheduler(n_nodes).run(jobs, 4 * SECONDS_PER_DAY, inner)
+    shed = BackfillScheduler(n_nodes).run(jobs, 4 * SECONDS_PER_DAY, responsive)
+
+    window = np.arange(event.start_s, event.end_s, 900.0)
+    normal_kw = normal.trace.sample(window).mean() / 1e3
+    shed_kw = shed.trace.sample(window).mean() / 1e3
+    latency_h = response_latency_estimate(stream.mean_runtime_s) / 3600.0
+    rows = [
+        ["Busy-node power in window (normal)", f"{normal_kw:,.0f} kW"],
+        ["Busy-node power in window (responding)", f"{shed_kw:,.0f} kW"],
+        ["Shed achieved", f"{normal_kw - shed_kw:,.0f} kW ({(normal_kw - shed_kw) / normal_kw * 100:.0f}%)"],
+        ["63% response latency (6 h jobs)", f"{latency_h:.1f} h"],
+    ]
+    print()
+    print(
+        render_table(
+            ["Quantity", "Value"],
+            rows,
+            title="3. Demand response on a 512-node slice: 12 h stress window at 1.5 GHz",
+        )
+    )
+
+
+def main() -> None:
+    toolchain_study()
+    surrogate_study()
+    demand_response_study()
+
+
+if __name__ == "__main__":
+    main()

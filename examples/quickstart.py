@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Quickstart: simulate two weeks of an ARCHER2-like facility.
+
+Builds the published ARCHER2 inventory, runs a two-week operating campaign
+at the baseline operating point (Power Determinism, 2.25 GHz + turbo),
+and prints the power, utilisation and emissions picture — the §2/§3
+methodology of the paper in ~30 lines of user code.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CampaignConfig, EmbodiedProfile, EmissionsModel, run_campaign
+from repro.core.regimes import advice, classify_ci
+from repro.facility import FacilityPowerModel, archer2_inventory
+from repro.grid import scenario
+from repro.units import SECONDS_PER_DAY
+
+
+def main() -> None:
+    # -- 1. the machine -----------------------------------------------------
+    inventory = archer2_inventory()
+    summary = inventory.summary()
+    print(f"facility: {summary['facility']}")
+    print(f"  {summary['nodes']:,} nodes / {summary['cores']:,} cores")
+    print(f"  Table 2 envelope: {summary['idle_power_kw']:,.0f} kW idle, "
+          f"{summary['loaded_power_kw']:,.0f} kW loaded")
+
+    # -- 2. two weeks of operation ------------------------------------------
+    config = CampaignConfig(duration_s=14 * SECONDS_PER_DAY, seed=42)
+    result = run_campaign(config)
+    print("\ntwo-week campaign:")
+    print(f"  mean compute-cabinet power: {result.mean_cabinet_kw:,.0f} kW "
+          f"(paper baseline: 3,220 kW)")
+    print(f"  node utilisation: {result.utilisation() * 100:.1f}%")
+    print(f"  jobs completed: {len(result.simulation.records):,}")
+    print(f"  node-hours delivered: {result.simulation.total_node_hours():,.0f}")
+    print(f"  compute-node energy: {result.simulation.total_energy_kwh():,.0f} kWh")
+
+    # -- 3. what does that mean for emissions? ------------------------------
+    facility = FacilityPowerModel(inventory)
+    mean_total_kw = facility.total_power_w(result.utilisation()) / 1e3
+    emissions = EmissionsModel(
+        embodied=EmbodiedProfile(total_tco2e=10_000.0, lifetime_years=6.0),
+        mean_power_kw=mean_total_kw,
+    )
+    print("\nemissions outlook (paper Section 2):")
+    for name in ("zero_carbon", "low_carbon", "balanced", "uk_2022"):
+        grid = scenario(name)
+        breakdown = emissions.annual_breakdown(grid.mean_ci_g_per_kwh)
+        regime = classify_ci(grid.mean_ci_g_per_kwh)
+        print(
+            f"  {name:12s} ({grid.mean_ci_g_per_kwh:5.0f} g/kWh): "
+            f"scope2 {breakdown.scope2_tco2e:7,.0f} t/yr, "
+            f"scope3 {breakdown.scope3_tco2e:6,.0f} t/yr -> {regime.value}; "
+            f"{advice(regime).value}"
+        )
+    crossover = emissions.crossover_ci_g_per_kwh()
+    print(f"\nscope-2/scope-3 crossover: {crossover:.0f} gCO2/kWh "
+          f"(inside the paper's 30-100 balanced band)")
+
+
+if __name__ == "__main__":
+    main()

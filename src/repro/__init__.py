@@ -1,0 +1,102 @@
+"""hpcem — emissions and energy efficiency toolkit for large-scale HPC facilities.
+
+A full reproduction of "Emissions and energy efficiency on large-scale high
+performance computing facilities: ARCHER2 UK national supercomputing service
+case study" (Jackson, Simpson & Turner, SC 2023 workshops) on a simulated
+facility.
+
+Quick start::
+
+    from repro import archer2_inventory, run_campaign, CampaignConfig
+    from repro.units import SECONDS_PER_DAY
+
+    config = CampaignConfig(duration_s=14 * SECONDS_PER_DAY)
+    result = run_campaign(config)
+    print(f"mean cabinet power: {result.mean_cabinet_kw:,.0f} kW")
+
+Subpackages
+-----------
+``facility``      hardware inventory, power roll-ups, cooling, PUE
+``node``          CPU P-states, DVFS power, BIOS determinism modes
+``workload``      roofline models, application catalogue, job streams
+``scheduler``     discrete-event EASY-backfill batch simulator
+``telemetry``     power time series, meters, persistence
+``grid``          carbon intensity, pricing, demand response
+``interconnect``  dragonfly topology, switch power
+``core``          the paper's contribution: emissions, regimes, interventions
+``analysis``      baselines, change points, ratio estimation, scenarios
+``experiments``   one driver per paper table/figure (T1–T4, F1–F3, C1, R1, A1–A4)
+"""
+
+from . import units
+from .core import (
+    ARCHER2_WINTER_2022,
+    BASELINE_CONFIG,
+    POST_BIOS_CONFIG,
+    POST_FREQ_CONFIG,
+    BiosDeterminismChange,
+    CampaignConfig,
+    CampaignResult,
+    DecisionEngine,
+    DefaultFrequencyChange,
+    EmbodiedProfile,
+    EmissionsModel,
+    InterventionSchedule,
+    OperatingConfig,
+    OperatingState,
+    Priorities,
+    Regime,
+    classify_ci,
+    derive_band,
+    run_campaign,
+)
+from .facility import FacilityInventory, FacilityPowerModel, archer2_inventory
+from .node import (
+    DeterminismMode,
+    FrequencySetting,
+    NodePowerModel,
+    build_node_model,
+    fit_node_constants,
+)
+from .workload import AppProfile, archer2_mix, full_catalogue
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "units",
+    # facility
+    "FacilityInventory",
+    "FacilityPowerModel",
+    "archer2_inventory",
+    # node
+    "FrequencySetting",
+    "DeterminismMode",
+    "NodePowerModel",
+    "build_node_model",
+    "fit_node_constants",
+    # workload
+    "AppProfile",
+    "archer2_mix",
+    "full_catalogue",
+    # core
+    "EmissionsModel",
+    "EmbodiedProfile",
+    "Regime",
+    "classify_ci",
+    "derive_band",
+    "OperatingConfig",
+    "BASELINE_CONFIG",
+    "POST_BIOS_CONFIG",
+    "POST_FREQ_CONFIG",
+    "OperatingState",
+    "InterventionSchedule",
+    "BiosDeterminismChange",
+    "DefaultFrequencyChange",
+    "CampaignConfig",
+    "CampaignResult",
+    "run_campaign",
+    "Priorities",
+    "DecisionEngine",
+    "ARCHER2_WINTER_2022",
+]

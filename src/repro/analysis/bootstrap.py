@@ -1,0 +1,132 @@
+"""Moving-block bootstrap for autocorrelated power telemetry.
+
+Facility power series are strongly autocorrelated (jobs run for hours), so
+the naive standard error of a mean underestimates the real uncertainty by a
+large factor. The moving-block bootstrap resamples contiguous blocks long
+enough to preserve the correlation structure, giving honest confidence
+intervals for baseline means (Figure 1's orange line) and intervention
+deltas (Figures 2–3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..telemetry.series import TimeSeries
+
+__all__ = ["BootstrapInterval", "block_bootstrap_mean", "bootstrap_impact_delta"]
+
+
+@dataclass(frozen=True)
+class BootstrapInterval:
+    """A point estimate with a bootstrap confidence interval."""
+
+    estimate: float
+    lower: float
+    upper: float
+    confidence: float
+    n_resamples: int
+
+    @property
+    def half_width(self) -> float:
+        """Half the CI width — a robust 'plus-or-minus'."""
+        return (self.upper - self.lower) / 2.0
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside the interval."""
+        return self.lower <= value <= self.upper
+
+
+def _valid_values(series: TimeSeries) -> np.ndarray:
+    values = series.values[~np.isnan(series.values)]
+    if len(values) < 8:
+        raise AnalysisError("need at least 8 valid samples to bootstrap")
+    return values
+
+
+def _block_resample_means(
+    values: np.ndarray,
+    block: int,
+    n_resamples: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    n = len(values)
+    n_blocks = int(np.ceil(n / block))
+    # Start indices for all resamples at once: (n_resamples, n_blocks).
+    starts = rng.integers(0, n - block + 1, size=(n_resamples, n_blocks))
+    offsets = np.arange(block)
+    idx = (starts[:, :, None] + offsets[None, None, :]).reshape(n_resamples, -1)[:, :n]
+    return values[idx].mean(axis=1)
+
+
+def block_bootstrap_mean(
+    series: TimeSeries,
+    rng: np.random.Generator,
+    block: int | None = None,
+    n_resamples: int = 2000,
+    confidence: float = 0.95,
+) -> BootstrapInterval:
+    """Bootstrap CI for a series mean under autocorrelation.
+
+    ``block`` defaults to ``n^(1/3)`` rounded up — the classic rate-optimal
+    choice — but should be at least the sample-count of the signal's
+    decorrelation time when known (e.g. job-duration scale / sample interval).
+    """
+    if not 0.0 < confidence < 1.0:
+        raise AnalysisError("confidence must be in (0, 1)")
+    if n_resamples < 100:
+        raise AnalysisError("n_resamples must be at least 100")
+    values = _valid_values(series)
+    n = len(values)
+    if block is None:
+        block = max(2, int(np.ceil(n ** (1.0 / 3.0))))
+    if not 1 <= block <= n:
+        raise AnalysisError(f"block must be in [1, {n}], got {block}")
+    means = _block_resample_means(values, block, n_resamples, rng)
+    alpha = (1.0 - confidence) / 2.0
+    lower, upper = np.quantile(means, [alpha, 1.0 - alpha])
+    return BootstrapInterval(
+        estimate=float(values.mean()),
+        lower=float(lower),
+        upper=float(upper),
+        confidence=confidence,
+        n_resamples=n_resamples,
+    )
+
+
+def bootstrap_impact_delta(
+    series: TimeSeries,
+    change_time_s: float,
+    rng: np.random.Generator,
+    settle_s: float = 0.0,
+    block: int | None = None,
+    n_resamples: int = 2000,
+    confidence: float = 0.95,
+) -> BootstrapInterval:
+    """Bootstrap CI for the before-minus-after mean power saving.
+
+    Resamples the before- and after-segments independently (they are
+    different operating regimes) and differences the means. A CI excluding
+    zero means the intervention's effect is resolved above telemetry noise.
+    """
+    before = series.slice(series.t_start_s, change_time_s)
+    after = series.slice(change_time_s + settle_s, series.t_end_s + 1.0)
+    vb = _valid_values(before)
+    va = _valid_values(after)
+    if block is None:
+        block = max(2, int(np.ceil(min(len(vb), len(va)) ** (1.0 / 3.0))))
+    means_b = _block_resample_means(vb, min(block, len(vb)), n_resamples, rng)
+    means_a = _block_resample_means(va, min(block, len(va)), n_resamples, rng)
+    deltas = means_b - means_a
+    alpha = (1.0 - confidence) / 2.0
+    lower, upper = np.quantile(deltas, [alpha, 1.0 - alpha])
+    return BootstrapInterval(
+        estimate=float(vb.mean() - va.mean()),
+        lower=float(lower),
+        upper=float(upper),
+        confidence=confidence,
+        n_resamples=n_resamples,
+    )

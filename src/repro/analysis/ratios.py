@@ -1,0 +1,82 @@
+"""Perf/energy ratio estimation with uncertainty.
+
+The paper's Tables 3 and 4 report single ratios per benchmark. Real
+benchmarking produces several repeats per configuration; this module
+estimates the ratio of means and propagates the repeat-to-repeat spread so
+benches can report whether a 1 % performance effect (Table 3) is resolvable
+above run-to-run noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+__all__ = ["RatioEstimate", "ratio_of_means", "paired_ratio"]
+
+
+@dataclass(frozen=True)
+class RatioEstimate:
+    """A ratio with first-order propagated uncertainty."""
+
+    value: float
+    standard_error: float
+
+    @property
+    def relative_error(self) -> float:
+        """Standard error as a fraction of the value."""
+        return self.standard_error / abs(self.value) if self.value else float("inf")
+
+    def consistent_with(self, expected: float, n_sigma: float = 2.0) -> bool:
+        """Whether ``expected`` lies within ``n_sigma`` standard errors."""
+        return abs(self.value - expected) <= n_sigma * max(self.standard_error, 1e-12)
+
+    def __str__(self) -> str:
+        return f"{self.value:.3f} ± {self.standard_error:.3f}"
+
+
+def _check(samples: np.ndarray, label: str) -> np.ndarray:
+    arr = np.asarray(samples, dtype=float)
+    if arr.ndim != 1 or len(arr) == 0:
+        raise AnalysisError(f"{label}: need a non-empty 1-D sample array")
+    if np.any(~np.isfinite(arr)):
+        raise AnalysisError(f"{label}: samples must be finite")
+    if np.any(arr <= 0):
+        raise AnalysisError(f"{label}: samples must be positive")
+    return arr
+
+
+def ratio_of_means(
+    candidate: np.ndarray, baseline: np.ndarray
+) -> RatioEstimate:
+    """Estimate mean(candidate)/mean(baseline) with delta-method error.
+
+    For independent repeats: Var(r)/r² ≈ Var(ā)/ā² + Var(b̄)/b̄².
+    Single-repeat inputs get zero standard error (no spread information).
+    """
+    a = _check(candidate, "candidate")
+    b = _check(baseline, "baseline")
+    ra, rb = a.mean(), b.mean()
+    value = ra / rb
+    var_a = a.var(ddof=1) / len(a) if len(a) > 1 else 0.0
+    var_b = b.var(ddof=1) / len(b) if len(b) > 1 else 0.0
+    rel_var = var_a / ra**2 + var_b / rb**2
+    return RatioEstimate(value=float(value), standard_error=float(value * np.sqrt(rel_var)))
+
+
+def paired_ratio(candidate: np.ndarray, baseline: np.ndarray) -> RatioEstimate:
+    """Estimate the mean of per-pair ratios (paired repeats on the same input).
+
+    Pairing removes shared run-to-run variation (same node set, same input),
+    which is how the archer-benchmarks suite the paper cites reports results.
+    """
+    a = _check(candidate, "candidate")
+    b = _check(baseline, "baseline")
+    if len(a) != len(b):
+        raise AnalysisError(f"paired samples must have equal length ({len(a)} vs {len(b)})")
+    ratios = a / b
+    se = float(ratios.std(ddof=1) / np.sqrt(len(ratios))) if len(ratios) > 1 else 0.0
+    return RatioEstimate(value=float(ratios.mean()), standard_error=se)

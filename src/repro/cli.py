@@ -1,0 +1,87 @@
+"""Command-line interface: ``python -m repro [experiment-id ...]``.
+
+With no arguments, runs the fast experiments (tables, regimes, A1/A2); pass
+ids (``T1 T2 T3 T4 F1 F2 F3 C1 R1 A1 A2 A3 A4``) or ``all`` to choose.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .experiments import REGISTRY, run_experiment
+
+FAST_EXPERIMENTS = ["T1", "T2", "T3", "T4", "R1", "A1", "A2"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce the ARCHER2 emissions/energy-efficiency case study "
+            "(SC 2023) on a simulated facility."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="ID",
+        help=f"experiment ids to run: {', '.join(sorted(REGISTRY))}, or 'all' "
+        f"(default: the fast set {' '.join(FAST_EXPERIMENTS)})",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiments and exit"
+    )
+    parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="run the fast reproduction self-check and exit",
+    )
+    parser.add_argument(
+        "--export",
+        metavar="DIR",
+        default=None,
+        help="also write each experiment's table (.txt) and series (.csv) to DIR",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for exp_id in sorted(REGISTRY):
+            print(exp_id)
+        return 0
+    if args.validate:
+        from .core.validation import validate_reproduction
+
+        report = validate_reproduction()
+        print(report)
+        return 0 if report.passed else 1
+    requested = args.experiments or FAST_EXPERIMENTS
+    if len(requested) == 1 and requested[0].lower() == "all":
+        requested = sorted(REGISTRY)
+    unknown = [e for e in requested if e.upper() not in REGISTRY]
+    if unknown:
+        print(f"unknown experiment ids: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    for exp_id in requested:
+        start = time.perf_counter()
+        result = run_experiment(exp_id)
+        elapsed = time.perf_counter() - start
+        print(result)
+        print(f"({exp_id} completed in {elapsed:.1f}s)")
+        if args.export:
+            from .experiments.export import export_result
+
+            written = export_result(result, args.export)
+            print(f"(exported {len(written)} file(s) to {args.export})")
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

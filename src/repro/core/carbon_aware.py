@@ -1,0 +1,124 @@
+"""Carbon-aware temporal load shifting.
+
+When scope-2 emissions dominate (§2's high-CI regime), the *timing* of
+consumption matters: grid carbon intensity swings by tens of percent over a
+day. A facility with some deferrable work (maintenance drains, flexible
+batch backlog, checkpoint-restartable jobs) can move energy from the
+dirtiest hours to the cleanest ones.
+
+This module quantifies the ceiling of that strategy analytically: given a
+power series, a CI series and the fraction of energy that is deferrable
+within a shifting window, it computes scope-2 emissions before and after an
+optimal shift. It is deliberately an *upper bound* — a real scheduler
+realises part of it — making it the right screening tool for whether
+carbon-aware scheduling is worth operational complexity on a given grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..telemetry.series import TimeSeries
+from ..units import ensure_fraction, g_to_tonnes
+
+__all__ = ["ShiftingOutcome", "optimal_shift_savings"]
+
+
+@dataclass(frozen=True)
+class ShiftingOutcome:
+    """Scope-2 effect of optimally shifting deferrable energy."""
+
+    baseline_tco2e: float
+    shifted_tco2e: float
+    flexible_fraction: float
+    window_s: float
+
+    @property
+    def saving_tco2e(self) -> float:
+        """Absolute scope-2 reduction."""
+        return self.baseline_tco2e - self.shifted_tco2e
+
+    @property
+    def relative_saving(self) -> float:
+        """Reduction as a fraction of baseline scope 2."""
+        if self.baseline_tco2e == 0:
+            return 0.0
+        return self.saving_tco2e / self.baseline_tco2e
+
+
+def _window_edges(times: np.ndarray, window_s: float) -> np.ndarray:
+    start = times[0]
+    return np.floor((times - start) / window_s).astype(int)
+
+
+def optimal_shift_savings(
+    power_kw: TimeSeries,
+    ci_g_per_kwh: TimeSeries,
+    flexible_fraction: float,
+    window_s: float = 86_400.0,
+) -> ShiftingOutcome:
+    """Upper bound on scope-2 savings from within-window load shifting.
+
+    Within each window (default: one day), ``flexible_fraction`` of every
+    sample's energy is pooled and reassigned greedily to the window's
+    lowest-CI sample slots; the inflexible remainder stays in place. Total
+    energy is conserved per window — deferral, not reduction. Capacity is
+    respected in aggregate: no slot receives more than the window's mean
+    flexible energy per slot times the slot count (i.e. flexible energy can
+    concentrate, which is the upper-bound nature of the estimate).
+
+    Both series must share timestamps.
+    """
+    ensure_fraction(flexible_fraction, "flexible_fraction")
+    if window_s <= 0:
+        raise ConfigurationError("window_s must be positive")
+    if not np.array_equal(power_kw.times_s, ci_g_per_kwh.times_s):
+        raise ConfigurationError("power and CI series must share timestamps")
+    times = power_kw.times_s
+    if len(times) < 2:
+        raise ConfigurationError("need at least two samples")
+
+    durations = np.diff(np.append(times, times[-1] + (times[-1] - times[-2])))
+    energy_kwh = np.nan_to_num(power_kw.values) * durations / 3600.0
+    ci = np.nan_to_num(ci_g_per_kwh.values)
+
+    baseline_g = float(np.dot(energy_kwh, ci))
+
+    shifted_g = 0.0
+    windows = _window_edges(times, window_s)
+    for w in np.unique(windows):
+        mask = windows == w
+        e = energy_kwh[mask]
+        c = ci[mask]
+        inflexible_g = float(np.dot((1.0 - flexible_fraction) * e, c))
+        flexible_total = flexible_fraction * float(e.sum())
+        in_place_g = float(np.dot(flexible_fraction * e, c))
+        # Greedy: all flexible energy at the window's cleanest slots, each
+        # slot filled up to the window-average energy per slot.
+        order = np.argsort(c)
+        slot_cap = float(e.sum()) / len(e)
+        remaining = flexible_total
+        greedy_g = 0.0
+        for idx in order:
+            take = min(remaining, slot_cap)
+            greedy_g += take * float(c[idx])
+            remaining -= take
+            if remaining <= 0:
+                break
+        if remaining > 0:
+            # More flexible energy than slot capacity (cannot happen with
+            # cap = mean energy, but guard the invariant).
+            greedy_g += remaining * float(c[order[-1]])
+        # Shifting is a choice: an operator whose baseline already sits in
+        # the clean slots simply leaves the flexible energy where it is.
+        shifted_g += inflexible_g + min(greedy_g, in_place_g)
+
+    return ShiftingOutcome(
+        baseline_tco2e=g_to_tonnes(baseline_g),
+        shifted_tco2e=g_to_tonnes(shifted_g),
+        flexible_fraction=flexible_fraction,
+        window_s=window_s,
+    )

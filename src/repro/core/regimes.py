@@ -1,0 +1,125 @@
+"""Carbon-intensity regimes and the operating advice they imply (paper §2).
+
+The paper partitions operating conditions by grid carbon intensity:
+
+=====================  ===========================  ==============================
+CI (gCO₂/kWh)          Dominant emissions            Optimise for
+=====================  ===========================  ==============================
+< 30                   scope 3 (embodied)            application performance
+30 – 100               roughly equal                 balance perf & energy
+> 100                  scope 2 (operational)         energy efficiency
+=====================  ===========================  ==============================
+
+Two classifiers are provided: the paper's fixed thresholds, and a derived
+classifier that reconstructs the band from an emissions model — the band
+edges fall where scope 2 is a factor ``dominance_factor`` below/above scope 3.
+With ARCHER2-scale defaults the derived band closely brackets the paper's
+[30, 100], which bench R1 demonstrates.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..units import ensure_positive
+from .emissions import EmissionsModel
+
+__all__ = [
+    "Regime",
+    "OptimisationTarget",
+    "PAPER_LOW_CI",
+    "PAPER_HIGH_CI",
+    "classify_ci",
+    "advice",
+    "RegimeBand",
+    "derive_band",
+]
+
+#: The paper's fixed regime boundaries, gCO₂/kWh.
+PAPER_LOW_CI = 30.0
+PAPER_HIGH_CI = 100.0
+
+
+class Regime(enum.Enum):
+    """Which emissions scope dominates."""
+
+    SCOPE3_DOMINATED = "scope3-dominated"
+    BALANCED = "balanced"
+    SCOPE2_DOMINATED = "scope2-dominated"
+
+
+class OptimisationTarget(enum.Enum):
+    """What the service should optimise in each regime (§2 conclusions)."""
+
+    MAXIMISE_PERFORMANCE = "maximise application output per node-hour"
+    BALANCE = "balance application performance and energy efficiency"
+    MAXIMISE_ENERGY_EFFICIENCY = "maximise application output per kWh"
+
+
+def classify_ci(
+    ci_g_per_kwh: float,
+    low: float = PAPER_LOW_CI,
+    high: float = PAPER_HIGH_CI,
+) -> Regime:
+    """Classify a carbon intensity against (by default) the paper's bands."""
+    if ci_g_per_kwh < 0:
+        raise ConfigurationError("carbon intensity must be non-negative")
+    if low >= high:
+        raise ConfigurationError("low boundary must be below high boundary")
+    if ci_g_per_kwh < low:
+        return Regime.SCOPE3_DOMINATED
+    if ci_g_per_kwh <= high:
+        return Regime.BALANCED
+    return Regime.SCOPE2_DOMINATED
+
+
+def advice(regime: Regime) -> OptimisationTarget:
+    """The paper's operating advice for a regime."""
+    return {
+        Regime.SCOPE3_DOMINATED: OptimisationTarget.MAXIMISE_PERFORMANCE,
+        Regime.BALANCED: OptimisationTarget.BALANCE,
+        Regime.SCOPE2_DOMINATED: OptimisationTarget.MAXIMISE_ENERGY_EFFICIENCY,
+    }[regime]
+
+
+@dataclass(frozen=True)
+class RegimeBand:
+    """A derived balanced band [low, high] around the scope-2/3 crossover."""
+
+    low_ci_g_per_kwh: float
+    high_ci_g_per_kwh: float
+    crossover_ci_g_per_kwh: float
+
+    def classify(self, ci_g_per_kwh: float) -> Regime:
+        """Classify against this derived band."""
+        return classify_ci(
+            ci_g_per_kwh, low=self.low_ci_g_per_kwh, high=self.high_ci_g_per_kwh
+        )
+
+    def brackets_paper_band(self) -> bool:
+        """Whether the derived band overlaps the paper's [30, 100] band on
+        both edges (within a factor of two — the precision the paper's
+        round numbers imply)."""
+        return (
+            PAPER_LOW_CI / 2 <= self.low_ci_g_per_kwh <= PAPER_LOW_CI * 2
+            and PAPER_HIGH_CI / 2 <= self.high_ci_g_per_kwh <= PAPER_HIGH_CI * 2
+        )
+
+
+def derive_band(model: EmissionsModel, dominance_factor: float = 2.0) -> RegimeBand:
+    """Reconstruct the balanced band from an emissions model.
+
+    "Roughly equal" is read as scope 2 within a factor ``dominance_factor``
+    of scope 3: the band is ``[crossover/factor, crossover·factor]``.
+    """
+    ensure_positive(dominance_factor, "dominance_factor")
+    if dominance_factor < 1.0:
+        raise ConfigurationError("dominance_factor must be >= 1")
+    crossover = model.crossover_ci_g_per_kwh()
+    return RegimeBand(
+        low_ci_g_per_kwh=crossover / dominance_factor,
+        high_ci_g_per_kwh=crossover * dominance_factor,
+        crossover_ci_g_per_kwh=crossover,
+    )

@@ -1,0 +1,148 @@
+"""AI-surrogate replacement scenarios (paper §5 future work).
+
+The paper's future work includes "looking at the impact on energy and
+emissions efficiency of replacing parts of modelling applications by
+AI-based approaches". This module models that trade:
+
+* a fraction of an application's work is replaced by a learned surrogate
+  that is much faster per evaluation (inference is cheap, compute bound);
+* training the surrogate costs energy up front, amortised over the runs
+  that use it;
+* the remaining physics-based fraction is unchanged.
+
+The headline outputs are the effective per-run time/energy ratios and the
+**break-even run count** — how many production runs are needed before the
+training energy is repaid by per-run savings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..node.app_energy import evaluate_app
+from ..node.determinism import DeterminismMode
+from ..node.node_power import NodePowerModel
+from ..node.pstates import FrequencySetting
+from ..units import ensure_fraction, ensure_nonnegative, ensure_positive
+from ..workload.applications import AppProfile
+from ..workload.roofline import RooflineModel
+
+__all__ = ["SurrogateScenario", "SurrogateOutcome", "evaluate_surrogate"]
+
+
+@dataclass(frozen=True)
+class SurrogateScenario:
+    """A proposal to replace part of an application with an ML surrogate.
+
+    Parameters
+    ----------
+    replaced_fraction:
+        Fraction of the application's reference runtime the surrogate
+        replaces.
+    surrogate_speedup:
+        How much faster the surrogate computes the replaced work (≥1; e.g.
+        a learned sub-grid parameterisation at 10× the numerical kernel).
+    surrogate_compute_fraction:
+        Roofline compute fraction of the surrogate's inference (dense
+        linear algebra → compute bound, default 0.85).
+    training_energy_kwh:
+        One-off energy to train the surrogate (include hyper-parameter
+        search; typically GPU energy converted to kWh).
+    """
+
+    replaced_fraction: float
+    surrogate_speedup: float
+    surrogate_compute_fraction: float = 0.85
+    training_energy_kwh: float = 0.0
+
+    def __post_init__(self) -> None:
+        ensure_fraction(self.replaced_fraction, "replaced_fraction")
+        ensure_positive(self.surrogate_speedup, "surrogate_speedup")
+        if self.surrogate_speedup < 1.0:
+            raise ConfigurationError("surrogate_speedup below 1 is not a surrogate win")
+        ensure_fraction(self.surrogate_compute_fraction, "surrogate_compute_fraction")
+        ensure_nonnegative(self.training_energy_kwh, "training_energy_kwh")
+
+
+@dataclass(frozen=True)
+class SurrogateOutcome:
+    """Per-run effect of a surrogate scenario for one app at one operating point."""
+
+    app_name: str
+    time_ratio: float  # hybrid runtime / original runtime
+    energy_ratio: float  # hybrid per-run node energy / original (excl. training)
+    per_run_saving_kwh: float  # absolute per-run node-energy saving
+    breakeven_runs: float  # runs to repay training energy (inf if no saving)
+
+    @property
+    def perf_ratio(self) -> float:
+        """Speedup expressed the paper's way (>1 = faster)."""
+        return 1.0 / self.time_ratio
+
+
+def evaluate_surrogate(
+    app: AppProfile,
+    scenario: SurrogateScenario,
+    node_model: NodePowerModel,
+    n_nodes: int | None = None,
+    setting: FrequencySetting = FrequencySetting.GHZ_2_25_TURBO,
+    mode: DeterminismMode = DeterminismMode.PERFORMANCE,
+) -> SurrogateOutcome:
+    """Evaluate a surrogate scenario for an application.
+
+    The hybrid run is two phases: the untouched physics fraction with the
+    app's own roofline, and the surrogate phase with its own (compute-bound)
+    roofline running ``surrogate_speedup`` × faster. Energy integrates each
+    phase's power over its duration on the same node count.
+    """
+    nodes = n_nodes if n_nodes is not None else app.typical_nodes
+    if nodes <= 0:
+        raise ConfigurationError("n_nodes must be positive")
+
+    base_run = evaluate_app(app, setting, mode, node_model)
+    point = node_model.cpu.operating_point(setting, mode)
+
+    # Phase durations relative to the original runtime at this point.
+    retained = (1.0 - scenario.replaced_fraction) * base_run.time_ratio
+    surrogate_model = RooflineModel(
+        compute_fraction=scenario.surrogate_compute_fraction,
+        reference_ghz=app.reference_ghz,
+    )
+    surr_profile = surrogate_model.at(point.effective_ghz)
+    surrogate_time = (
+        scenario.replaced_fraction
+        * base_run.time_ratio
+        * surr_profile.time_ratio
+        / scenario.surrogate_speedup
+    )
+    hybrid_time_ratio = retained + surrogate_time
+
+    surr_power = float(
+        node_model.busy_power_w(
+            point, surr_profile.compute_activity, surr_profile.memory_activity
+        )
+    )
+    hybrid_energy = retained * base_run.node_power_w + surrogate_time * surr_power
+    base_energy = base_run.time_ratio * base_run.node_power_w
+    energy_ratio = hybrid_energy / base_energy
+
+    # Absolute per-run saving needs a wall-clock anchor: the app's baseline
+    # runtime at its reference point, stretched by this operating point.
+    run_seconds = app.baseline_runtime_s * base_run.time_ratio
+    base_kwh = base_run.node_power_w * nodes * run_seconds / 3.6e6
+    saving_kwh = base_kwh * (1.0 - energy_ratio)
+    if saving_kwh > 0:
+        breakeven = scenario.training_energy_kwh / saving_kwh
+    else:
+        breakeven = float("inf") if scenario.training_energy_kwh > 0 else 0.0
+
+    return SurrogateOutcome(
+        app_name=app.name,
+        time_ratio=hybrid_time_ratio / base_run.time_ratio,
+        energy_ratio=energy_ratio,
+        per_run_saving_kwh=saving_kwh,
+        breakeven_runs=float(np.round(breakeven, 6)),
+    )

@@ -1,0 +1,155 @@
+"""Fast reproduction self-check.
+
+``validate_reproduction()`` runs the paper's cheap shape criteria (no
+campaigns — those live in the benchmark harness) and returns a structured
+report. Intended for CI smoke tests and as the first thing a new user runs
+to confirm the calibrated model on their machine behaves as documented.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..facility.archer2 import archer2_inventory
+from ..facility.hardware import ComponentKind
+from ..node.calibration import build_node_model
+from ..workload.applications import paper_bios_benchmarks, paper_frequency_benchmarks
+from .efficiency import (
+    BASELINE_CONFIG,
+    POST_BIOS_CONFIG,
+    POST_FREQ_CONFIG,
+    comparison_table,
+)
+from .emissions import EmbodiedProfile, EmissionsModel
+from .regimes import derive_band
+
+__all__ = ["Check", "ValidationReport", "validate_reproduction"]
+
+
+@dataclass(frozen=True)
+class Check:
+    """One named criterion with its measured value and verdict."""
+
+    name: str
+    passed: bool
+    detail: str
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """All checks plus the overall verdict."""
+
+    checks: tuple[Check, ...]
+
+    @property
+    def passed(self) -> bool:
+        """True when every check passed."""
+        return all(c.passed for c in self.checks)
+
+    @property
+    def failures(self) -> list[Check]:
+        """The checks that failed (empty on a healthy install)."""
+        return [c for c in self.checks if not c.passed]
+
+    def __str__(self) -> str:
+        lines = []
+        for check in self.checks:
+            status = "PASS" if check.passed else "FAIL"
+            lines.append(f"[{status}] {check.name}: {check.detail}")
+        lines.append(
+            f"=> {'all checks passed' if self.passed else f'{len(self.failures)} check(s) FAILED'}"
+        )
+        return "\n".join(lines)
+
+
+def validate_reproduction() -> ValidationReport:
+    """Run the fast shape criteria from DESIGN.md §4."""
+    checks: list[Check] = []
+    inventory = archer2_inventory()
+    node_model = build_node_model()
+
+    # T1: published inventory.
+    checks.append(
+        Check(
+            name="T1 core count",
+            passed=inventory.n_cores == 750_080,
+            detail=f"{inventory.n_cores:,} cores (paper 750,080)",
+        )
+    )
+
+    # T2: component shares and totals.
+    node_share = inventory.loaded_share(ComponentKind.COMPUTE_NODE)
+    loaded_kw = inventory.loaded_power_w() / 1e3
+    checks.append(
+        Check(
+            name="T2 node share",
+            passed=abs(node_share - 0.86) < 0.02,
+            detail=f"{node_share:.1%} of loaded power (paper 86%)",
+        )
+    )
+    checks.append(
+        Check(
+            name="T2 loaded total",
+            passed=abs(loaded_kw - 3500.0) / 3500.0 < 0.02,
+            detail=f"{loaded_kw:,.0f} kW (paper 3,500)",
+        )
+    )
+
+    # T3: BIOS determinism band.
+    t3 = comparison_table(
+        paper_bios_benchmarks(), POST_BIOS_CONFIG, BASELINE_CONFIG, node_model
+    )
+    max_loss = max(1.0 - row.perf_ratio for row in t3)
+    energies = [row.energy_ratio for row in t3]
+    checks.append(
+        Check(
+            name="T3 perf cost <= 1.5%",
+            passed=max_loss <= 0.015,
+            detail=f"worst perf loss {max_loss:.1%}",
+        )
+    )
+    checks.append(
+        Check(
+            name="T3 energy band",
+            passed=all(0.88 < e < 0.96 for e in energies),
+            detail=f"energy ratios {min(energies):.2f}-{max(energies):.2f} (paper 0.90-0.94)",
+        )
+    )
+
+    # T4: frequency study shape.
+    t4 = comparison_table(
+        paper_frequency_benchmarks(), POST_FREQ_CONFIG, POST_BIOS_CONFIG, node_model
+    )
+    perf_sorted = sorted(t4, key=lambda row: row.perf_ratio)
+    checks.append(
+        Check(
+            name="T4 ordering",
+            passed=perf_sorted[0].app_name.startswith("LAMMPS")
+            and perf_sorted[-1].app_name.startswith("VASP"),
+            detail=f"most affected {perf_sorted[0].app_name}, least {perf_sorted[-1].app_name}",
+        )
+    )
+    checks.append(
+        Check(
+            name="T4 all apps save energy",
+            passed=all(row.energy_ratio < 1.0 for row in t4),
+            detail=f"max energy ratio {max(r.energy_ratio for r in t4):.2f}",
+        )
+    )
+
+    # R1: derived regime band brackets the paper's.
+    band = derive_band(
+        EmissionsModel(embodied=EmbodiedProfile(), mean_power_kw=3500.0)
+    )
+    checks.append(
+        Check(
+            name="R1 regime band",
+            passed=band.brackets_paper_band(),
+            detail=(
+                f"derived [{band.low_ci_g_per_kwh:.0f}, {band.high_ci_g_per_kwh:.0f}] "
+                "g/kWh (paper [30, 100])"
+            ),
+        )
+    )
+
+    return ValidationReport(checks=tuple(checks))

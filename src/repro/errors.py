@@ -1,0 +1,61 @@
+"""Exception hierarchy for the :mod:`repro` (hpcem) library.
+
+All library-raised exceptions derive from :class:`HpcemError` so callers can
+catch everything from this package with a single ``except`` clause while
+still distinguishing configuration problems from runtime simulation faults.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "HpcemError",
+    "ConfigurationError",
+    "UnitError",
+    "CalibrationError",
+    "SchedulingError",
+    "AllocationError",
+    "TelemetryError",
+    "SeriesShapeError",
+    "AnalysisError",
+    "ExperimentError",
+]
+
+
+class HpcemError(Exception):
+    """Base class for all errors raised by the hpcem library."""
+
+
+class ConfigurationError(HpcemError):
+    """A configuration object failed validation (bad counts, negative power…)."""
+
+
+class UnitError(HpcemError):
+    """A quantity was supplied in an invalid range for its physical unit."""
+
+
+class CalibrationError(HpcemError):
+    """Model calibration failed to converge or produced unphysical constants."""
+
+
+class SchedulingError(HpcemError):
+    """The discrete-event scheduler was driven into an inconsistent state."""
+
+
+class AllocationError(SchedulingError):
+    """Node allocation request could not be satisfied or was double-booked."""
+
+
+class TelemetryError(HpcemError):
+    """Telemetry recording or persistence failed."""
+
+
+class SeriesShapeError(TelemetryError):
+    """A time series had mismatched or non-monotonic timestamps."""
+
+
+class AnalysisError(HpcemError):
+    """A measurement-analysis routine received data it cannot analyse."""
+
+
+class ExperimentError(HpcemError):
+    """An experiment driver could not reproduce its paper artefact."""

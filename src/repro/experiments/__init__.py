@@ -1,0 +1,57 @@
+"""Experiment drivers: one per paper table/figure plus ablations.
+
+The :data:`REGISTRY` maps experiment ids to zero-argument callables so the
+CLI and the benchmark harness share one canonical entry point per artefact.
+"""
+
+from typing import Callable
+
+from . import (
+    ablations,
+    conclusions,
+    extensions,
+    fig1,
+    fig2,
+    fig3,
+    regimes_demo,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+from .common import ExperimentResult
+
+__all__ = ["REGISTRY", "run_experiment", "ExperimentResult"]
+
+REGISTRY: dict[str, Callable[[], ExperimentResult]] = {
+    "T1": table1.run,
+    "T2": table2.run,
+    "T3": table3.run,
+    "T4": table4.run,
+    "F1": fig1.run,
+    "F2": fig2.run,
+    "F3": fig3.run,
+    "C1": conclusions.run,
+    "R1": regimes_demo.run,
+    "A1": ablations.run_a1,
+    "A2": ablations.run_a2,
+    "A3": ablations.run_a3,
+    "A4": ablations.run_a4,
+    "E1": extensions.run_e1,
+    "E2": extensions.run_e2,
+    "E3": extensions.run_e3,
+    "E4": extensions.run_e4,
+    "E5": extensions.run_e5,
+    "E6": extensions.run_e6,
+}
+
+
+def run_experiment(experiment_id: str) -> ExperimentResult:
+    """Run one experiment by id (e.g. ``"T4"``)."""
+    try:
+        runner = REGISTRY[experiment_id.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; choose from {sorted(REGISTRY)}"
+        ) from None
+    return runner()

@@ -1,0 +1,123 @@
+"""Shared experiment scaffolding.
+
+Every experiment driver returns an :class:`ExperimentResult` with a stable
+id (``T1``–``T4``, ``F1``–``F3``, ``C1``, ``R1``, ``A1``–``A4``), a rendered
+table, and a ``headline`` mapping of the numbers the paper reports — so
+benches and tests assert against one canonical structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.campaign import CampaignConfig
+from ..core.interventions import InterventionSchedule, OperatingState
+from ..node.calibration import build_node_model
+from ..node.determinism import DeterminismMode
+from ..node.node_power import NodePowerModel
+from ..scheduler.frequency_policy import FrequencyPolicy
+from ..telemetry.series import TimeSeries
+from ..units import SECONDS_PER_DAY
+from ..workload.applications import paper_curated_apps
+from ..workload.generator import JobStreamConfig
+from ..workload.mix import archer2_mix
+
+__all__ = [
+    "ExperimentResult",
+    "default_node_model",
+    "baseline_operating_state",
+    "post_bios_operating_state",
+    "figure_campaign_config",
+    "FIG1_DURATION_S",
+    "FIG23_DURATION_S",
+    "FIG23_CHANGE_S",
+    "CHRISTMAS_WINDOW_S",
+]
+
+#: Figure 1 window: Dec 2021 – Apr 2022 (~5 months). t=0 is 1 Dec 2021,
+#: a Wednesday — day-of-week indexing in the generator treats day 0 as a
+#: weekday, which is consistent.
+FIG1_DURATION_S = 150 * SECONDS_PER_DAY
+#: Figures 2/3 windows: two months with the change near the middle.
+FIG23_DURATION_S = 61 * SECONDS_PER_DAY
+FIG23_CHANGE_S = 30 * SECONDS_PER_DAY
+#: Christmas/New-Year shutdown dip visible in the real Figure 1
+#: (days 23–33 of a 1-Dec-anchored window).
+CHRISTMAS_WINDOW_S = (23 * SECONDS_PER_DAY, 33 * SECONDS_PER_DAY)
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Canonical experiment output."""
+
+    experiment_id: str
+    title: str
+    table: str
+    headline: dict[str, float] = field(default_factory=dict)
+    series: dict[str, TimeSeries] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        lines = [f"[{self.experiment_id}] {self.title}", self.table]
+        if self.headline:
+            lines.append("headline:")
+            for key, value in self.headline.items():
+                lines.append(f"  {key} = {value:.4g}")
+        return "\n".join(lines)
+
+
+def default_node_model() -> NodePowerModel:
+    """The ARCHER2-calibrated node model used by every experiment."""
+    return build_node_model()
+
+
+def baseline_operating_state() -> OperatingState:
+    """Pre-intervention state: Power Determinism, 2.25 GHz+turbo default.
+
+    The curated-apps list is attached from the start so the frequency
+    intervention inherits it.
+    """
+    return OperatingState(
+        mode=DeterminismMode.POWER,
+        policy=FrequencyPolicy(curated_apps=paper_curated_apps()),
+    )
+
+
+def post_bios_operating_state() -> OperatingState:
+    """State after §4.1: Performance Determinism, default frequency unchanged."""
+    return OperatingState(
+        mode=DeterminismMode.PERFORMANCE,
+        policy=FrequencyPolicy(curated_apps=paper_curated_apps()),
+    )
+
+
+def figure_campaign_config(
+    duration_s: float,
+    schedule: InterventionSchedule,
+    seed: int,
+    holidays: tuple[tuple[float, float], ...] = (),
+) -> CampaignConfig:
+    """Campaign configuration shared by the figure experiments."""
+    mix = archer2_mix()
+    node_model = default_node_model()
+    config = CampaignConfig(
+        duration_s=duration_s,
+        schedule=schedule,
+        node_model=node_model,
+        mix=mix,
+        seed=seed,
+    )
+    if holidays:
+        stream = JobStreamConfig(
+            n_facility_nodes=config.inventory.n_nodes,
+            holiday_windows_s=holidays,
+        )
+        config = CampaignConfig(
+            duration_s=duration_s,
+            schedule=schedule,
+            inventory=config.inventory,
+            node_model=node_model,
+            mix=mix,
+            stream=stream,
+            seed=seed,
+        )
+    return config

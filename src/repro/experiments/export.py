@@ -1,0 +1,54 @@
+"""Artefact export: write every experiment's table and figure data to disk.
+
+``python -m repro --export out/`` produces, for each experiment, a
+``<id>.txt`` with the rendered table and headline numbers, plus a
+``<id>_<series>.csv`` for every time series the experiment carries (the
+figure data behind F1–F3) — everything needed to re-plot the paper's
+figures with any external tool.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..core.reporting import series_to_csv
+from .common import ExperimentResult
+
+__all__ = ["export_result", "export_all"]
+
+
+def export_result(result: ExperimentResult, out_dir: str | Path) -> list[Path]:
+    """Write one experiment's artefacts; returns the created paths."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+
+    text_path = out / f"{result.experiment_id}.txt"
+    text_path.write_text(str(result) + "\n")
+    written.append(text_path)
+
+    for name, series in result.series.items():
+        safe = name.replace("/", "_")
+        csv_path = out / f"{result.experiment_id}_{safe}.csv"
+        series_to_csv(series, csv_path)
+        written.append(csv_path)
+    return written
+
+
+def export_all(
+    experiment_ids: list[str],
+    out_dir: str | Path,
+    runner=None,
+) -> dict[str, list[Path]]:
+    """Run and export a list of experiments; returns id → created paths.
+
+    ``runner`` defaults to :func:`repro.experiments.run_experiment`; tests
+    inject a stub to avoid running campaigns.
+    """
+    if runner is None:
+        from . import run_experiment as runner  # deferred: avoids cycle at import
+    exported: dict[str, list[Path]] = {}
+    for exp_id in experiment_ids:
+        result = runner(exp_id)
+        exported[exp_id] = export_result(result, out_dir)
+    return exported

@@ -1,0 +1,263 @@
+"""Extension experiments E1–E5: the paper's §5 future-work directions.
+
+These are not reproductions of published artefacts — the paper explicitly
+defers them — but quantified explorations with the same rigour as A1–A4:
+
+* **E1 — demand response**: frequency modulation during grid stress.
+* **E2 — toolchain × frequency**: compiler choice vs the §4.2 policy.
+* **E3 — AI surrogates**: energy break-even of learned model components.
+* **E4 — carbon-aware shifting**: temporal load shifting against UK CI.
+* **E5 — coolant set-point**: leakage vs chiller trade-off.
+* **E6 — node power caps**: the watts-domain analogue of the frequency cap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.carbon_aware import optimal_shift_savings
+from ..core.reporting import render_table
+from ..core.surrogate import SurrogateScenario, evaluate_surrogate
+from ..grid.carbon_intensity import CarbonIntensityModel
+from ..grid.events import GridStressEvent
+from ..node.determinism import DeterminismMode
+from ..node.thermal import ThermalModel, sweep_coolant_setpoint
+from ..scheduler.backfill import BackfillScheduler, StaticEnvironment
+from ..scheduler.demand_response import (
+    DemandResponseEnvironment,
+    response_latency_estimate,
+)
+from ..telemetry.series import TimeSeries
+from ..units import SECONDS_PER_DAY
+from ..workload.applications import paper_frequency_benchmarks, synthetic_archetypes
+from ..workload.generator import JobStreamConfig, JobStreamGenerator
+from ..workload.mix import archer2_mix
+from ..workload.toolchain import REFERENCE_TOOLCHAINS, apply_toolchain
+from .common import ExperimentResult, default_node_model
+
+__all__ = ["run_e1", "run_e2", "run_e3", "run_e4", "run_e5", "run_e6"]
+
+
+def run_e1(n_nodes: int = 512, days: float = 4.0, seed: int = 51) -> ExperimentResult:
+    """E1: power shed achievable by frequency modulation in a stress window."""
+    rng = np.random.default_rng(seed)
+    mix = archer2_mix()
+    stream = JobStreamConfig(
+        n_facility_nodes=n_nodes, max_job_nodes=128, mean_runtime_s=6 * 3600.0
+    )
+    jobs = JobStreamGenerator(mix, stream, rng).generate_until(days * SECONDS_PER_DAY)
+    inner = StaticEnvironment(
+        node_model=default_node_model(), mode=DeterminismMode.PERFORMANCE
+    )
+    event = GridStressEvent(
+        start_s=(days / 2) * SECONDS_PER_DAY,
+        duration_s=12 * 3600.0,
+        severity=1.0,
+        requested_reduction_kw=0.0,
+    )
+    responsive = DemandResponseEnvironment(inner=inner, events=[event])
+    normal = BackfillScheduler(n_nodes).run(jobs, days * SECONDS_PER_DAY, inner)
+    shed = BackfillScheduler(n_nodes).run(jobs, days * SECONDS_PER_DAY, responsive)
+
+    window = np.arange(event.start_s, event.end_s, 900.0)
+    normal_kw = float(normal.trace.sample(window).mean()) / 1e3
+    shed_kw = float(shed.trace.sample(window).mean()) / 1e3
+    depth = (normal_kw - shed_kw) / normal_kw
+    latency_h = response_latency_estimate(stream.mean_runtime_s) / 3600.0
+
+    rows = [
+        ["Window busy power (normal)", f"{normal_kw:,.0f} kW"],
+        ["Window busy power (responding at 1.5 GHz)", f"{shed_kw:,.0f} kW"],
+        ["Shed depth", f"{depth * 100:.0f}%"],
+        ["63% response latency", f"{latency_h:.1f} h"],
+    ]
+    return ExperimentResult(
+        experiment_id="E1",
+        title="Demand response by frequency modulation (future work)",
+        table=render_table(["Quantity", "Value"], rows, title="E1: 12 h stress window"),
+        headline={
+            "normal_kw": normal_kw,
+            "shed_kw": shed_kw,
+            "shed_depth": depth,
+            "latency_h": latency_h,
+        },
+    )
+
+
+def run_e2() -> ExperimentResult:
+    """E2: toolchain choice interacts with the frequency policy."""
+    apps = paper_frequency_benchmarks()
+    rows = []
+    n_resets = {}
+    for tc_name in ("baseline-gnu", "vendor-tuned", "vector-aggressive"):
+        toolchain = REFERENCE_TOOLCHAINS[tc_name]
+        resets = 0
+        for app in apps.values():
+            rebuilt = apply_toolchain(app, toolchain)
+            if 1.0 - rebuilt.roofline.perf_ratio(2.0) > 0.10:
+                resets += 1
+        n_resets[tc_name] = resets
+        rows.append([toolchain.overall_label, f"{resets}/{len(apps)}"])
+    return ExperimentResult(
+        experiment_id="E2",
+        title="Compiler/library choice vs the 2.0 GHz policy (future work)",
+        table=render_table(
+            ["Toolchain", "Apps above the 10% reset threshold"],
+            rows,
+            title="E2: vectorising compilers reduce frequency sensitivity",
+        ),
+        headline={
+            "baseline_resets": float(n_resets["baseline-gnu"]),
+            "vector_resets": float(n_resets["vector-aggressive"]),
+        },
+    )
+
+
+def run_e3() -> ExperimentResult:
+    """E3: AI-surrogate energy break-even for a climate archetype."""
+    node_model = default_node_model()
+    climate = synthetic_archetypes()["Climate/Ocean archetype"]
+    rows = []
+    headline = {}
+    for label, replaced, speedup, training in (
+        ("conservative", 0.2, 5.0, 2_000.0),
+        ("moderate", 0.4, 10.0, 10_000.0),
+        ("aggressive", 0.6, 20.0, 50_000.0),
+    ):
+        outcome = evaluate_surrogate(
+            climate,
+            SurrogateScenario(
+                replaced_fraction=replaced,
+                surrogate_speedup=speedup,
+                training_energy_kwh=training,
+            ),
+            node_model,
+            n_nodes=64,
+        )
+        rows.append(
+            [
+                f"{label} ({replaced:.0%} @ {speedup:.0f}x)",
+                f"{outcome.perf_ratio:.2f}x",
+                f"{outcome.energy_ratio:.2f}",
+                f"{outcome.breakeven_runs:,.0f}",
+            ]
+        )
+        headline[f"{label}_energy_ratio"] = outcome.energy_ratio
+        headline[f"{label}_breakeven"] = outcome.breakeven_runs
+    return ExperimentResult(
+        experiment_id="E3",
+        title="AI-surrogate replacement scenarios (future work)",
+        table=render_table(
+            ["Scenario", "Speedup", "Energy ratio", "Break-even runs"],
+            rows,
+            title="E3: 64-node climate model with learned components",
+        ),
+        headline=headline,
+    )
+
+
+def run_e4(seed: int = 54) -> ExperimentResult:
+    """E4: carbon-aware temporal shifting on a UK-shaped grid."""
+    rng = np.random.default_rng(seed)
+    ci = CarbonIntensityModel(mean_ci_g_per_kwh=190.0).series(
+        0.0, 28 * SECONDS_PER_DAY, 3600.0, rng
+    )
+    power = TimeSeries(ci.times_s, np.full(len(ci), 3000.0), "facility")
+    rows = []
+    headline = {}
+    for flexible in (0.1, 0.3, 0.5):
+        outcome = optimal_shift_savings(power, ci, flexible)
+        rows.append(
+            [
+                f"{flexible:.0%}",
+                f"{outcome.saving_tco2e:.1f} t",
+                f"{outcome.relative_saving * 100:.1f}%",
+            ]
+        )
+        headline[f"saving_at_{int(flexible * 100)}pct"] = outcome.relative_saving
+    return ExperimentResult(
+        experiment_id="E4",
+        title="Carbon-aware load shifting (future work)",
+        table=render_table(
+            ["Flexible energy", "4-week scope-2 saving", "Relative"],
+            rows,
+            title="E4: optimal within-day shifting, UK-2022-like grid",
+        ),
+        headline=headline,
+    )
+
+
+def run_e6(cap_w: float = 480.0) -> ExperimentResult:
+    """E6: a fleet-wide node power cap as a third control lever.
+
+    The watts-domain analogue of the §4.2 frequency cap: one cap throttles
+    compute-bound codes hard while memory-bound codes keep full speed —
+    a self-selecting version of the module-reset policy.
+    """
+    from ..node.power_cap import cap_comparison
+
+    node_model = default_node_model()
+    apps = paper_frequency_benchmarks()
+    results = cap_comparison(apps, cap_w, node_model)
+    rows = []
+    for r in sorted(results, key=lambda x: x.perf_ratio):
+        rows.append(
+            [
+                r.app_name,
+                f"{r.effective_ghz:.2f} GHz",
+                f"{r.node_power_w:.0f} W",
+                f"{r.perf_ratio:.2f}",
+                "throttled" if r.throttled else "uncapped",
+            ]
+        )
+    throttled = [r for r in results if r.throttled]
+    untouched = [r for r in results if not r.throttled]
+    headline = {
+        "cap_w": cap_w,
+        "n_throttled": float(len(throttled)),
+        "n_uncapped": float(len(untouched)),
+        "worst_perf_ratio": min(r.perf_ratio for r in results),
+        "best_perf_ratio": max(r.perf_ratio for r in results),
+    }
+    return ExperimentResult(
+        experiment_id="E6",
+        title="Node power cap as a control lever (extension)",
+        table=render_table(
+            ["Benchmark", "Effective freq", "Node power", "Perf", "State"],
+            rows,
+            title=f"E6: {cap_w:.0f} W fleet cap — compute-bound codes self-select",
+        ),
+        headline=headline,
+    )
+
+
+def run_e5() -> ExperimentResult:
+    """E5: coolant set-point trade-off (leakage vs chillers)."""
+    thermal = ThermalModel()
+    temps = np.arange(12.0, 46.0, 2.0)
+    sweep = sweep_coolant_setpoint(thermal, dynamic_power_w=450.0, coolant_temps_c=temps)
+    best = min(sweep, key=lambda s: s.total_w_per_node)
+    rows = [
+        [
+            f"{s.coolant_c:.0f} °C",
+            f"{s.leakage_w:.0f}",
+            f"{s.cooling_overhead_w_per_node:.0f}",
+            f"{s.total_w_per_node:.0f}",
+            "free" if s.free_cooling else "chilled",
+        ]
+        for s in sweep[::3]
+    ]
+    return ExperimentResult(
+        experiment_id="E5",
+        title="Coolant set-point trade-off (facility overheads)",
+        table=render_table(
+            ["Coolant", "Leakage (W)", "Cooling (W/node)", "Total (W/node)", "Plant"],
+            rows,
+            title=f"E5: optimum at {best.coolant_c:.0f} °C (free cooling edge)",
+        ),
+        headline={
+            "optimal_coolant_c": best.coolant_c,
+            "optimal_total_w": best.total_w_per_node,
+            "optimum_is_free_cooling": float(best.free_cooling),
+        },
+    )

@@ -1,0 +1,85 @@
+"""Experiment R1 — paper §2: emissions regimes across carbon intensities.
+
+Sweeps carbon intensity through an ARCHER2-scale emissions model and shows:
+
+* the scope-2 share of lifetime emissions at each CI;
+* the regime classification (scope-3-dominated / balanced / scope-2-dominated);
+* that the paper's [30, 100] gCO₂/kWh band emerges from the model's
+  scope-2/scope-3 crossover rather than being hard-coded.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.emissions import EmbodiedProfile, EmissionsModel
+from ..core.regimes import advice, derive_band
+from ..core.reporting import render_table
+from ..analysis.scenarios import ci_sweep
+from .common import ExperimentResult
+
+__all__ = ["run"]
+
+#: ARCHER2-scale facility assumptions (see DESIGN.md §5 and core.emissions).
+DEFAULT_MEAN_POWER_KW = 3500.0
+DEFAULT_EMBODIED_TCO2E = 10_000.0
+DEFAULT_LIFETIME_YEARS = 6.0
+
+
+def run(
+    mean_power_kw: float = DEFAULT_MEAN_POWER_KW,
+    embodied_tco2e: float = DEFAULT_EMBODIED_TCO2E,
+    lifetime_years: float = DEFAULT_LIFETIME_YEARS,
+) -> ExperimentResult:
+    """Sweep CI and derive the balanced band."""
+    model = EmissionsModel(
+        embodied=EmbodiedProfile(
+            total_tco2e=embodied_tco2e, lifetime_years=lifetime_years
+        ),
+        mean_power_kw=mean_power_kw,
+    )
+    ci_values = np.array([5.0, 15.0, 25.0, 30.0, 55.0, 100.0, 150.0, 190.0, 400.0])
+    points = ci_sweep(model, ci_values)
+    band = derive_band(model)
+
+    rows = []
+    for p in points:
+        rows.append(
+            [
+                f"{p.ci_g_per_kwh:.0f}",
+                f"{p.scope2_tco2e_per_year:,.0f}",
+                f"{p.scope3_tco2e_per_year:,.0f}",
+                f"{p.scope2_share * 100:.0f}%",
+                p.regime.value,
+                advice(p.regime).value,
+            ]
+        )
+    table = render_table(
+        [
+            "CI (g/kWh)",
+            "Scope 2 (t/yr)",
+            "Scope 3 (t/yr)",
+            "Scope-2 share",
+            "Regime",
+            "Optimise for",
+        ],
+        rows,
+        title=(
+            "Emissions regimes: derived balanced band "
+            f"[{band.low_ci_g_per_kwh:.0f}, {band.high_ci_g_per_kwh:.0f}] g/kWh "
+            f"(crossover {band.crossover_ci_g_per_kwh:.0f}; paper band [30, 100])"
+        ),
+    )
+    return ExperimentResult(
+        experiment_id="R1",
+        title="Emissions-regime scenarios (paper Section 2)",
+        table=table,
+        headline={
+            "crossover_ci": band.crossover_ci_g_per_kwh,
+            "derived_low_ci": band.low_ci_g_per_kwh,
+            "derived_high_ci": band.high_ci_g_per_kwh,
+            "paper_low_ci": 30.0,
+            "paper_high_ci": 100.0,
+            "brackets_paper_band": float(band.brackets_paper_band()),
+        },
+    )

@@ -1,0 +1,51 @@
+"""Experiment T1 — paper Table 1: ARCHER2 hardware summary."""
+
+from __future__ import annotations
+
+from ..core.reporting import render_table
+from ..facility.archer2 import archer2_inventory, archer2_node_spec
+from .common import ExperimentResult
+
+__all__ = ["run"]
+
+#: Published Table 1 values the inventory must reproduce.
+PAPER_NODES = 5860
+PAPER_CORES = 750_080
+PAPER_SWITCHES = 768
+
+
+def run() -> ExperimentResult:
+    """Build the ARCHER2 inventory and report its Table 1 summary."""
+    inventory = archer2_inventory()
+    node = archer2_node_spec()
+    summary = inventory.summary()
+    rows = [
+        ["Compute nodes", f"{inventory.n_nodes:,}"],
+        ["Compute cores", f"{inventory.n_cores:,}"],
+        [
+            "Processors per node",
+            f"{node.sockets}x {node.cores_per_socket}-core @ {node.base_frequency_ghz} GHz",
+        ],
+        ["Memory per node", f"{node.memory_gib} GiB DDR4 (256/512 mix)"],
+        ["Interconnect interfaces per node", f"{node.nic_ports}x Slingshot 10"],
+        ["Slingshot switches", f"{inventory.n_switches:,} (dragonfly)"],
+        ["Compute cabinets", f"{inventory.n_cabinets}"],
+        ["Coolant distribution units", f"{summary['cdus']}"],
+        ["File systems", f"{summary['filesystems']}"],
+    ]
+    table = render_table(
+        ["Component", "Value"], rows, title="Table 1: ARCHER2 hardware summary"
+    )
+    return ExperimentResult(
+        experiment_id="T1",
+        title="ARCHER2 hardware summary (paper Table 1)",
+        table=table,
+        headline={
+            "nodes": float(inventory.n_nodes),
+            "cores": float(inventory.n_cores),
+            "switches": float(inventory.n_switches),
+            "paper_nodes": float(PAPER_NODES),
+            "paper_cores": float(PAPER_CORES),
+            "paper_switches": float(PAPER_SWITCHES),
+        },
+    )

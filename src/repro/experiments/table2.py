@@ -1,0 +1,82 @@
+"""Experiment T2 — paper Table 2: per-component power draw and shares."""
+
+from __future__ import annotations
+
+from ..core.reporting import format_kw, render_table
+from ..facility.archer2 import archer2_inventory
+from ..facility.hardware import ComponentKind
+from .common import ExperimentResult
+
+__all__ = ["run", "PAPER_ROWS"]
+
+#: Paper Table 2: (idle total kW, loaded total kW, approx share of loaded).
+PAPER_ROWS: dict[ComponentKind, tuple[float, float, float]] = {
+    ComponentKind.COMPUTE_NODE: (1350.0, 3000.0, 0.86),
+    ComponentKind.SWITCH: (150.0, 200.0, 0.06),  # idle given as 100-200 kW
+    ComponentKind.CABINET_OVERHEAD: (150.0, 200.0, 0.06),  # idle 100-200 kW
+    ComponentKind.CDU: (96.0, 96.0, 0.03),
+    ComponentKind.FILESYSTEM: (40.0, 40.0, 0.01),
+}
+PAPER_TOTAL_IDLE_KW = 1800.0
+PAPER_TOTAL_LOADED_KW = 3500.0
+
+_LABELS = {
+    ComponentKind.COMPUTE_NODE: "Compute nodes",
+    ComponentKind.SWITCH: "Slingshot interconnect",
+    ComponentKind.CABINET_OVERHEAD: "Other cabinet overheads",
+    ComponentKind.CDU: "Coolant distribution units",
+    ComponentKind.FILESYSTEM: "File systems",
+}
+
+
+def run() -> ExperimentResult:
+    """Aggregate the inventory into Table 2 rows and compare shares."""
+    inventory = archer2_inventory()
+    aggregates = inventory.aggregates()
+    rows = []
+    headline: dict[str, float] = {}
+    for agg in aggregates:
+        paper_idle, paper_loaded, paper_share = PAPER_ROWS[agg.kind]
+        rows.append(
+            [
+                _LABELS[agg.kind],
+                f"{agg.count:,}",
+                format_kw(agg.idle_power_w / 1e3),
+                format_kw(agg.loaded_power_w / 1e3),
+                f"{agg.loaded_share * 100:.0f}%",
+                f"{paper_share * 100:.0f}%",
+            ]
+        )
+        headline[f"{agg.kind.value}_share"] = agg.loaded_share
+        headline[f"{agg.kind.value}_paper_share"] = paper_share
+    total_idle = inventory.idle_power_w() / 1e3
+    total_loaded = inventory.loaded_power_w() / 1e3
+    rows.append(
+        [
+            "Total",
+            "",
+            format_kw(total_idle),
+            format_kw(total_loaded),
+            "100%",
+            "100%",
+        ]
+    )
+    headline.update(
+        {
+            "total_idle_kw": total_idle,
+            "total_loaded_kw": total_loaded,
+            "paper_total_idle_kw": PAPER_TOTAL_IDLE_KW,
+            "paper_total_loaded_kw": PAPER_TOTAL_LOADED_KW,
+        }
+    )
+    table = render_table(
+        ["Component", "Count", "Idle (kW)", "Loaded (kW)", "Share", "Paper share"],
+        rows,
+        title="Table 2: estimated/measured power draw by component",
+    )
+    return ExperimentResult(
+        experiment_id="T2",
+        title="Per-component power draw (paper Table 2)",
+        table=table,
+        headline=headline,
+    )

@@ -1,0 +1,57 @@
+"""Experiment T3 — paper Table 3: BIOS determinism perf/energy ratios.
+
+Compares Performance Determinism against Power Determinism at the
+2.25 GHz+turbo setting for the paper's three BIOS-study benchmarks. Perf
+ratios should land at 0.99–1.00 and energy ratios in the 0.90–0.94 band.
+"""
+
+from __future__ import annotations
+
+from ..core.efficiency import (
+    BASELINE_CONFIG,
+    POST_BIOS_CONFIG,
+    comparison_table,
+)
+from ..core.reporting import format_ratio, render_table
+from ..workload.applications import paper_bios_benchmarks
+from .common import ExperimentResult, default_node_model
+
+__all__ = ["run"]
+
+
+def run() -> ExperimentResult:
+    """Compute Table 3 and report predicted vs paper ratios."""
+    node_model = default_node_model()
+    comparisons = comparison_table(
+        paper_bios_benchmarks(), POST_BIOS_CONFIG, BASELINE_CONFIG, node_model
+    )
+    rows = []
+    headline: dict[str, float] = {}
+    for c in comparisons:
+        rows.append(
+            [
+                c.app_name,
+                c.nodes,
+                format_ratio(c.perf_ratio),
+                format_ratio(c.paper_perf_ratio),
+                format_ratio(c.energy_ratio),
+                format_ratio(c.paper_energy_ratio),
+            ]
+        )
+        key = c.app_name.replace(" ", "_")
+        headline[f"{key}_perf"] = c.perf_ratio
+        headline[f"{key}_energy"] = c.energy_ratio
+    headline["max_perf_loss"] = max(1.0 - c.perf_ratio for c in comparisons)
+    headline["min_energy_ratio"] = min(c.energy_ratio for c in comparisons)
+    headline["max_energy_ratio"] = max(c.energy_ratio for c in comparisons)
+    table = render_table(
+        ["Benchmark", "Nodes", "Perf", "Perf (paper)", "Energy", "Energy (paper)"],
+        rows,
+        title="Table 3: performance determinism vs power determinism",
+    )
+    return ExperimentResult(
+        experiment_id="T3",
+        title="BIOS determinism benchmark ratios (paper Table 3)",
+        table=table,
+        headline=headline,
+    )

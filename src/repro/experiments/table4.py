@@ -1,0 +1,69 @@
+"""Experiment T4 — paper Table 4: 2.0 GHz vs 2.25 GHz+turbo ratios.
+
+The frequency study ran after the BIOS change, so both sides use
+Performance Determinism. Perf ratios match the paper by construction (the
+roofline profiles are calibrated from them); the energy ratios are genuine
+model predictions, and the shape criteria are:
+
+* every energy ratio < 1 (all apps save energy at 2.0 GHz);
+* LAMMPS is the most performance-affected, VASP CdTe the least;
+* perf ratios span roughly 0.74–0.95.
+"""
+
+from __future__ import annotations
+
+from ..core.efficiency import POST_BIOS_CONFIG, POST_FREQ_CONFIG, comparison_table
+from ..core.reporting import format_ratio, render_table
+from ..workload.applications import paper_frequency_benchmarks
+from .common import ExperimentResult, default_node_model
+
+__all__ = ["run"]
+
+
+def run() -> ExperimentResult:
+    """Compute Table 4 and report predicted vs paper ratios."""
+    node_model = default_node_model()
+    comparisons = comparison_table(
+        paper_frequency_benchmarks(), POST_FREQ_CONFIG, POST_BIOS_CONFIG, node_model
+    )
+    rows = []
+    headline: dict[str, float] = {}
+    for c in comparisons:
+        rows.append(
+            [
+                c.app_name,
+                c.nodes,
+                format_ratio(c.perf_ratio),
+                format_ratio(c.paper_perf_ratio),
+                format_ratio(c.energy_ratio),
+                format_ratio(c.paper_energy_ratio),
+            ]
+        )
+        key = c.app_name.replace(" ", "_")
+        headline[f"{key}_perf"] = c.perf_ratio
+        headline[f"{key}_energy"] = c.energy_ratio
+    perf_sorted = sorted(comparisons, key=lambda c: c.perf_ratio)
+    headline["most_affected_is_lammps"] = float(
+        perf_sorted[0].app_name.startswith("LAMMPS")
+    )
+    headline["least_affected_is_vasp"] = float(
+        perf_sorted[-1].app_name.startswith("VASP")
+    )
+    headline["min_perf_ratio"] = perf_sorted[0].perf_ratio
+    headline["max_perf_ratio"] = perf_sorted[-1].perf_ratio
+    headline["max_energy_ratio"] = max(c.energy_ratio for c in comparisons)
+    headline["min_energy_ratio"] = min(c.energy_ratio for c in comparisons)
+    headline["mean_abs_energy_error"] = sum(
+        abs(c.energy_error) for c in comparisons if c.energy_error is not None
+    ) / len(comparisons)
+    table = render_table(
+        ["Benchmark", "Nodes", "Perf", "Perf (paper)", "Energy", "Energy (paper)"],
+        rows,
+        title="Table 4: 2.0 GHz vs 2.25 GHz+turbo (performance determinism)",
+    )
+    return ExperimentResult(
+        experiment_id="T4",
+        title="CPU frequency benchmark ratios (paper Table 4)",
+        table=table,
+        headline=headline,
+    )

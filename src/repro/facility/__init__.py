@@ -1,0 +1,79 @@
+"""Facility substrate: hardware inventory, power aggregation, cooling, PUE.
+
+This package models the *machine room* side of a large HPC service — the
+component inventory of Table 1/Table 2 and the steady-state power roll-ups
+used throughout §3 of the paper.
+"""
+
+from .archer2 import (
+    ARCHER2_BASELINE_CABINET_POWER_KW,
+    ARCHER2_N_CABINETS,
+    ARCHER2_N_CDUS,
+    ARCHER2_N_NODES,
+    ARCHER2_N_SWITCHES,
+    ARCHER2_NODE_IDLE_W,
+    ARCHER2_NODE_LOADED_W,
+    ARCHER2_POST_BIOS_CABINET_POWER_KW,
+    ARCHER2_POST_FREQ_CABINET_POWER_KW,
+    archer2_inventory,
+    archer2_node_spec,
+    scaled_inventory,
+)
+from .cooling import CoolingAssessment, CoolingModel
+from .failures import FailureModel, FailureTimeline
+from .hardware import (
+    CabinetSpec,
+    CDUSpec,
+    ComponentKind,
+    ComponentSpec,
+    FilesystemSpec,
+    NodeSpec,
+    SwitchSpec,
+)
+from .inventory import ComponentAggregate, FacilityInventory, InventoryEntry
+from .power import FacilityPowerModel, PowerBreakdown
+from .provisioning import (
+    GridConnection,
+    ProvisioningReport,
+    assess_provisioning,
+    expansion_headroom_nodes,
+)
+from .pue import PueReport, pue, pue_from_breakdown
+
+__all__ = [
+    "ComponentKind",
+    "ComponentSpec",
+    "NodeSpec",
+    "SwitchSpec",
+    "CabinetSpec",
+    "CDUSpec",
+    "FilesystemSpec",
+    "InventoryEntry",
+    "ComponentAggregate",
+    "FacilityInventory",
+    "FacilityPowerModel",
+    "PowerBreakdown",
+    "GridConnection",
+    "ProvisioningReport",
+    "assess_provisioning",
+    "expansion_headroom_nodes",
+    "CoolingModel",
+    "CoolingAssessment",
+    "FailureModel",
+    "FailureTimeline",
+    "PueReport",
+    "pue",
+    "pue_from_breakdown",
+    "archer2_inventory",
+    "archer2_node_spec",
+    "scaled_inventory",
+    "ARCHER2_N_NODES",
+    "ARCHER2_N_SWITCHES",
+    "ARCHER2_N_CABINETS",
+    "ARCHER2_N_CDUS",
+    "ARCHER2_NODE_IDLE_W",
+    "ARCHER2_NODE_LOADED_W",
+    "ARCHER2_BASELINE_CABINET_POWER_KW",
+    "ARCHER2_POST_BIOS_CABINET_POWER_KW",
+    "ARCHER2_POST_FREQ_CABINET_POWER_KW",
+]

@@ -1,0 +1,102 @@
+"""Cooling model: coolant distribution units and thermal head-room.
+
+ARCHER2 is direct liquid cooled; six CDUs move heat from the cabinets to the
+plant. Their electrical draw is nearly constant (96 kW total, Table 2), but
+the model also exposes a proportional pump term so "higher power draw → higher
+cooling overhead" (§3 motivation) can be studied quantitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..units import ensure_fraction, ensure_nonnegative
+from .hardware import CDUSpec, ComponentKind
+from .inventory import FacilityInventory
+
+__all__ = ["CoolingAssessment", "CoolingModel"]
+
+
+@dataclass(frozen=True)
+class CoolingAssessment:
+    """Result of checking installed cooling against a facility heat load."""
+
+    heat_load_kw: float
+    capacity_kw: float
+    cdu_power_kw: float
+
+    @property
+    def headroom_kw(self) -> float:
+        """Spare heat-rejection capacity (negative when under-provisioned)."""
+        return self.capacity_kw - self.heat_load_kw
+
+    @property
+    def utilisation(self) -> float:
+        """Fraction of cooling capacity in use."""
+        return self.heat_load_kw / self.capacity_kw if self.capacity_kw else float("inf")
+
+    @property
+    def adequate(self) -> bool:
+        """True when the CDUs can reject the full heat load."""
+        return self.heat_load_kw <= self.capacity_kw
+
+
+class CoolingModel:
+    """Electrical and thermal model of the facility's CDUs.
+
+    Parameters
+    ----------
+    inventory:
+        Facility inventory; its CDU entries define base power and capacity.
+    variable_fraction:
+        Fraction of each CDU's spec power that scales with thermal load
+        (pump speed-up). ARCHER2's Table 2 treats CDU power as constant, so
+        the default is 0; ablations may raise it.
+    """
+
+    def __init__(self, inventory: FacilityInventory, variable_fraction: float = 0.0) -> None:
+        self.inventory = inventory
+        self.variable_fraction = ensure_fraction(variable_fraction, "variable_fraction")
+        self._cdus = inventory.entries_of_kind(ComponentKind.CDU)
+        if not self._cdus:
+            raise ConfigurationError(f"inventory {inventory.name!r} has no CDUs")
+
+    @property
+    def capacity_kw(self) -> float:
+        """Total heat-rejection capacity of the installed CDUs, kW."""
+        total = 0.0
+        for entry in self._cdus:
+            spec = entry.spec
+            assert isinstance(spec, CDUSpec)
+            total += spec.heat_capacity_kw * entry.count
+        return total
+
+    def cdu_power_kw(self, heat_load_kw: float) -> float:
+        """Electrical power drawn by the CDUs for a given heat load, kW.
+
+        With the default ``variable_fraction`` of 0 this is the constant
+        Table 2 figure; otherwise the variable share scales linearly with
+        cooling utilisation.
+        """
+        ensure_nonnegative(heat_load_kw, "heat_load_kw")
+        base_kw = sum(e.loaded_power_w for e in self._cdus) / 1e3
+        if self.variable_fraction == 0.0:
+            return base_kw
+        util = min(heat_load_kw / self.capacity_kw, 1.0)
+        fixed = base_kw * (1.0 - self.variable_fraction)
+        variable = base_kw * self.variable_fraction * util
+        return fixed + variable
+
+    def assess(self, it_power_kw: float) -> CoolingAssessment:
+        """Check cooling adequacy for an IT electrical load.
+
+        Essentially all electrical power entering the cabinets leaves as
+        heat, so the heat load equals the IT power.
+        """
+        ensure_nonnegative(it_power_kw, "it_power_kw")
+        return CoolingAssessment(
+            heat_load_kw=it_power_kw,
+            capacity_kw=self.capacity_kw,
+            cdu_power_kw=self.cdu_power_kw(it_power_kw),
+        )

@@ -1,0 +1,60 @@
+"""Power usage effectiveness (PUE) accounting.
+
+PUE = (total facility power) / (IT power). For the paper's purposes the IT
+power is the compute cabinets plus storage, and the overhead is cooling (the
+CDUs plus any plant overhead fraction). ARCHER2's liquid cooling keeps PUE
+low; the model lets benches show how reducing IT power (the §4 interventions)
+also reduces absolute cooling overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..units import ensure_nonnegative
+from .power import PowerBreakdown
+
+__all__ = ["PueReport", "pue_from_breakdown", "pue"]
+
+
+@dataclass(frozen=True)
+class PueReport:
+    """PUE with its numerator/denominator split retained for reporting."""
+
+    it_power_kw: float
+    overhead_power_kw: float
+
+    @property
+    def total_power_kw(self) -> float:
+        """Facility total: IT plus overhead, kW."""
+        return self.it_power_kw + self.overhead_power_kw
+
+    @property
+    def pue(self) -> float:
+        """Power usage effectiveness (≥ 1 by definition)."""
+        if self.it_power_kw <= 0:
+            raise ConfigurationError("PUE undefined for non-positive IT power")
+        return self.total_power_kw / self.it_power_kw
+
+
+def pue_from_breakdown(
+    breakdown: PowerBreakdown, plant_overhead_fraction: float = 0.0
+) -> PueReport:
+    """Build a :class:`PueReport` from a facility power breakdown.
+
+    ``plant_overhead_fraction`` adds site overhead (UPS losses, lighting,
+    plant-room pumps outside the CDUs) as a fraction of IT power.
+    """
+    ensure_nonnegative(plant_overhead_fraction, "plant_overhead_fraction")
+    it_kw = (breakdown.compute_cabinets_w + breakdown.storage_w) / 1e3
+    overhead_kw = breakdown.cooling_w / 1e3 + it_kw * plant_overhead_fraction
+    return PueReport(it_power_kw=it_kw, overhead_power_kw=overhead_kw)
+
+
+def pue(it_power_kw: float, overhead_power_kw: float) -> float:
+    """Direct PUE computation from already-aggregated figures."""
+    return PueReport(
+        it_power_kw=ensure_nonnegative(it_power_kw, "it_power_kw"),
+        overhead_power_kw=ensure_nonnegative(overhead_power_kw, "overhead_power_kw"),
+    ).pue

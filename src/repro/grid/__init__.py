@@ -1,0 +1,40 @@
+"""Grid substrate: carbon intensity, pricing, demand-response events."""
+
+from .carbon_intensity import (
+    SCENARIOS,
+    CarbonIntensityModel,
+    GridScenario,
+    scenario,
+)
+from .events import GridStressEvent, GridStressGenerator, demand_response_summary
+from .forecast import (
+    ForecastSkill,
+    diurnal_template_forecast,
+    evaluate_forecast,
+    persistence_forecast,
+)
+from .pricing import PricingModel, energy_cost_gbp
+from .trajectory import (
+    DecarbonisationTrajectory,
+    lifetime_average_ci,
+    regime_crossing_year,
+)
+
+__all__ = [
+    "CarbonIntensityModel",
+    "GridScenario",
+    "SCENARIOS",
+    "scenario",
+    "PricingModel",
+    "energy_cost_gbp",
+    "GridStressEvent",
+    "GridStressGenerator",
+    "demand_response_summary",
+    "ForecastSkill",
+    "persistence_forecast",
+    "diurnal_template_forecast",
+    "evaluate_forecast",
+    "DecarbonisationTrajectory",
+    "lifetime_average_ci",
+    "regime_crossing_year",
+]

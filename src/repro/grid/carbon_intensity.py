@@ -1,0 +1,141 @@
+"""Synthetic grid carbon-intensity series.
+
+The paper's §2 regime analysis turns on the carbon intensity (CI) of the
+electricity feeding the facility: below ~30 gCO₂/kWh embodied emissions
+dominate; above ~100 gCO₂/kWh operational emissions dominate. We have no
+licence to redistribute National Grid ESO data, so this module synthesises
+UK-shaped CI series — seasonal swing (wind-heavy winters vs calm summer
+highs), a diurnal demand cycle, and weather-driven AR(1) excursions — plus
+flat scenario presets spanning the paper's three regimes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..telemetry.series import TimeSeries
+from ..units import SECONDS_PER_DAY, SECONDS_PER_YEAR, ensure_nonnegative, ensure_positive
+
+__all__ = [
+    "CarbonIntensityModel",
+    "GridScenario",
+    "SCENARIOS",
+    "scenario",
+]
+
+
+@dataclass(frozen=True)
+class GridScenario:
+    """A named flat-CI scenario for regime sweeps (gCO₂e/kWh)."""
+
+    name: str
+    mean_ci_g_per_kwh: float
+    description: str
+
+
+#: Scenario presets spanning the paper's three §2 regimes.
+SCENARIOS: dict[str, GridScenario] = {
+    "zero_carbon": GridScenario(
+        "zero_carbon", 5.0, "near-100% renewable/nuclear grid (scope 3 dominates)"
+    ),
+    "low_carbon": GridScenario(
+        "low_carbon", 25.0, "below the paper's 30 g/kWh low-CI boundary"
+    ),
+    "balanced": GridScenario(
+        "balanced", 65.0, "inside the paper's 30-100 g/kWh balanced band"
+    ),
+    "uk_2022": GridScenario(
+        "uk_2022", 190.0, "UK grid around the paper's study period (scope 2 dominates)"
+    ),
+    "coal_heavy": GridScenario(
+        "coal_heavy", 600.0, "coal-dominated grid (strongly scope-2 dominated)"
+    ),
+}
+
+
+def scenario(name: str) -> GridScenario:
+    """Look up a scenario preset by name."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown grid scenario {name!r}; choose from {sorted(SCENARIOS)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class CarbonIntensityModel:
+    """UK-shaped synthetic carbon-intensity generator.
+
+    CI(t) = mean · [1 + seasonal·cos(2π(t−peak)/year) + diurnal·cos(2π(h−19)/24)]
+            + AR(1) weather noise, clipped at ``floor_g_per_kwh``.
+
+    Seasonal peak defaults to mid-winter (UK demand peak); the diurnal term
+    peaks at 19:00 local (evening demand).
+    """
+
+    mean_ci_g_per_kwh: float = 190.0
+    seasonal_amplitude: float = 0.15
+    diurnal_amplitude: float = 0.12
+    noise_sigma: float = 0.18
+    noise_correlation_hours: float = 36.0
+    floor_g_per_kwh: float = 10.0
+    seasonal_peak_day: float = 15.0  # mid-January
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.mean_ci_g_per_kwh, "mean_ci_g_per_kwh")
+        for name in ("seasonal_amplitude", "diurnal_amplitude", "noise_sigma"):
+            value = getattr(self, name)
+            if not 0.0 <= value < 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1), got {value}")
+        ensure_positive(self.noise_correlation_hours, "noise_correlation_hours")
+        ensure_nonnegative(self.floor_g_per_kwh, "floor_g_per_kwh")
+
+    def deterministic_g_per_kwh(self, times_s: np.ndarray) -> np.ndarray:
+        """Seasonal + diurnal component without weather noise."""
+        t = np.asarray(times_s, dtype=float)
+        seasonal_phase = 2 * np.pi * (t / SECONDS_PER_YEAR - self.seasonal_peak_day / 365.2425)
+        hours = (t % SECONDS_PER_DAY) / 3600.0
+        diurnal_phase = 2 * np.pi * (hours - 19.0) / 24.0
+        shape = (
+            1.0
+            + self.seasonal_amplitude * np.cos(seasonal_phase)
+            + self.diurnal_amplitude * np.cos(diurnal_phase)
+        )
+        return np.maximum(self.mean_ci_g_per_kwh * shape, self.floor_g_per_kwh)
+
+    def series(
+        self,
+        t_start_s: float,
+        t_end_s: float,
+        interval_s: float,
+        rng: np.random.Generator,
+    ) -> TimeSeries:
+        """Sampled CI series with AR(1) weather noise, gCO₂e/kWh."""
+        if t_end_s <= t_start_s:
+            raise ConfigurationError("t_end_s must exceed t_start_s")
+        ensure_positive(interval_s, "interval_s")
+        times = np.arange(t_start_s, t_end_s, interval_s)
+        base = self.deterministic_g_per_kwh(times)
+        # AR(1) with the requested decorrelation time, stationary variance σ².
+        rho = float(np.exp(-interval_s / (self.noise_correlation_hours * 3600.0)))
+        innovations = rng.normal(0.0, 1.0, size=len(times))
+        noise = np.empty(len(times))
+        state = rng.normal(0.0, 1.0)
+        scale = np.sqrt(1.0 - rho**2)
+        for i, eps in enumerate(innovations):
+            state = rho * state + scale * eps
+            noise[i] = state
+        values = base * (1.0 + self.noise_sigma * noise)
+        values = np.maximum(values, self.floor_g_per_kwh)
+        return TimeSeries(times, values, "carbon-intensity")
+
+    @classmethod
+    def from_scenario(cls, preset: GridScenario | str) -> "CarbonIntensityModel":
+        """Model whose mean matches a named scenario."""
+        if isinstance(preset, str):
+            preset = scenario(preset)
+        return cls(mean_ci_g_per_kwh=preset.mean_ci_g_per_kwh)

@@ -1,0 +1,95 @@
+"""Grid decarbonisation trajectories over a facility lifetime.
+
+The §2 regime analysis uses a snapshot carbon intensity, but a system
+procured today lives on a *decarbonising* grid: the UK's CI fell from
+~500 gCO₂/kWh (2012) to ~190 (2022) and national plans target <50 by the
+mid-2030s. A facility can therefore **cross regimes mid-life** — starting
+scope-2-dominated (optimise energy efficiency) and ending scope-3-dominated
+(optimise performance). This module models that arc and finds the crossing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..units import ensure_positive
+
+__all__ = ["DecarbonisationTrajectory", "lifetime_average_ci", "regime_crossing_year"]
+
+
+@dataclass(frozen=True)
+class DecarbonisationTrajectory:
+    """Exponential grid decarbonisation: ``CI(t) = start·(1−rate)^t`` with a floor.
+
+    ``annual_reduction`` of 0.07 halves CI roughly every decade — the UK's
+    2010s pace; ``floor_g_per_kwh`` reflects residual gas peaking and
+    embodied emissions of renewables themselves.
+    """
+
+    start_ci_g_per_kwh: float = 190.0
+    annual_reduction: float = 0.07
+    floor_g_per_kwh: float = 15.0
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.start_ci_g_per_kwh, "start_ci_g_per_kwh")
+        if not 0.0 <= self.annual_reduction < 1.0:
+            raise ConfigurationError("annual_reduction must be in [0, 1)")
+        if not 0.0 <= self.floor_g_per_kwh <= self.start_ci_g_per_kwh:
+            raise ConfigurationError("floor must be within [0, start_ci]")
+
+    def ci_at(self, years: float | np.ndarray) -> float | np.ndarray:
+        """Grid CI ``years`` after procurement, gCO₂/kWh."""
+        t = np.asarray(years, dtype=float)
+        if np.any(t < 0):
+            raise ConfigurationError("years must be non-negative")
+        ci = self.start_ci_g_per_kwh * (1.0 - self.annual_reduction) ** t
+        ci = np.maximum(ci, self.floor_g_per_kwh)
+        return float(ci) if ci.ndim == 0 else ci
+
+    def years_to_reach(self, target_ci_g_per_kwh: float) -> float:
+        """Years until the trajectory reaches a CI level (inf if below floor)."""
+        ensure_positive(target_ci_g_per_kwh, "target_ci_g_per_kwh")
+        if target_ci_g_per_kwh >= self.start_ci_g_per_kwh:
+            return 0.0
+        if target_ci_g_per_kwh < self.floor_g_per_kwh:
+            return float("inf")
+        if self.annual_reduction == 0.0:
+            return float("inf")
+        return float(
+            np.log(target_ci_g_per_kwh / self.start_ci_g_per_kwh)
+            / np.log(1.0 - self.annual_reduction)
+        )
+
+
+def lifetime_average_ci(
+    trajectory: DecarbonisationTrajectory, lifetime_years: float, steps: int = 1000
+) -> float:
+    """Time-averaged CI over a service life (trapezoidal integration)."""
+    ensure_positive(lifetime_years, "lifetime_years")
+    if steps < 2:
+        raise ConfigurationError("steps must be at least 2")
+    years = np.linspace(0.0, lifetime_years, steps)
+    return float(np.trapezoid(trajectory.ci_at(years), years) / lifetime_years)
+
+
+def regime_crossing_year(
+    trajectory: DecarbonisationTrajectory,
+    crossover_ci_g_per_kwh: float,
+    lifetime_years: float,
+) -> float | None:
+    """When (if ever) the facility's scope-2/scope-3 crossover is reached.
+
+    Pass the facility's crossover CI from
+    :meth:`repro.core.emissions.EmissionsModel.crossover_ci_g_per_kwh`.
+    Returns the year within the service life at which scope 3 starts to
+    dominate (optimise-for-performance territory), or ``None`` if the grid
+    never gets that clean in time.
+    """
+    ensure_positive(lifetime_years, "lifetime_years")
+    year = trajectory.years_to_reach(crossover_ci_g_per_kwh)
+    if year == float("inf") or year > lifetime_years:
+        return None
+    return year

@@ -1,0 +1,11 @@
+"""Interconnect substrate: dragonfly topology, load-invariant switch power."""
+
+from .dragonfly import DragonflyConfig, DragonflyTopology, archer2_like_dragonfly
+from .power import SwitchPowerModel
+
+__all__ = [
+    "DragonflyConfig",
+    "DragonflyTopology",
+    "archer2_like_dragonfly",
+    "SwitchPowerModel",
+]

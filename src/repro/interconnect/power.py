@@ -1,0 +1,59 @@
+"""Interconnect power model — deliberately boring, and that's the point.
+
+The paper's §5 observation: "The power draw of interconnect switches is
+steady at 200-250 W irrespective of system load." High-speed SerDes lanes
+burn power keeping links trained whether or not traffic flows. The model is
+an affine function of load with a tiny slope, so benches can demonstrate the
+load-invariance quantitatively (ablation A1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..units import ensure_nonnegative
+
+__all__ = ["SwitchPowerModel"]
+
+
+@dataclass(frozen=True)
+class SwitchPowerModel:
+    """Per-switch power: ``idle + (loaded − idle) · traffic_load``.
+
+    Defaults match the paper's observed 200–250 W band.
+    """
+
+    idle_w: float = 200.0
+    loaded_w: float = 250.0
+
+    def __post_init__(self) -> None:
+        ensure_nonnegative(self.idle_w, "idle_w")
+        if self.loaded_w < self.idle_w:
+            raise ConfigurationError("loaded_w must be >= idle_w")
+
+    def power_w(self, traffic_load: float | np.ndarray) -> float | np.ndarray:
+        """Per-switch power at a traffic load fraction ∈ [0, 1]."""
+        load = np.asarray(traffic_load, dtype=float)
+        if np.any((load < 0) | (load > 1)):
+            raise ConfigurationError("traffic_load must be within [0, 1]")
+        power = self.idle_w + (self.loaded_w - self.idle_w) * load
+        return float(power) if power.ndim == 0 else power
+
+    def fabric_power_w(self, n_switches: int, traffic_load: float = 1.0) -> float:
+        """Whole-fabric power, watts."""
+        if n_switches <= 0:
+            raise ConfigurationError("n_switches must be positive")
+        return n_switches * float(self.power_w(traffic_load))
+
+    def load_invariance(self) -> float:
+        """Fraction of loaded power still drawn at zero load (~0.8 on ARCHER2).
+
+        The §5 energy-efficiency argument: because this is high, low
+        utilisation wastes fabric energy with nothing to show for it.
+        """
+        if self.loaded_w == 0:
+            return 1.0
+        return self.idle_w / self.loaded_w

@@ -1,0 +1,74 @@
+"""CPU operating-point resolution: frequency setting × BIOS mode → effective GHz.
+
+This small layer answers the question "at what frequency do the cores
+actually run?" for every combination the paper exercises:
+
+* 2.25 GHz + turbo, Power Determinism       → ~2.80 GHz (paper §4.2 finding)
+* 2.25 GHz + turbo, Performance Determinism → ~2.77 GHz (≈1 % lower, §4.1)
+* 2.0 GHz (no turbo), either mode           →  2.00 GHz
+* 1.5 GHz (no turbo), either mode           →  1.50 GHz
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .determinism import DeterminismMode, DeterminismModel
+from .pstates import FrequencySetting, PStateTable, VoltageFrequencyCurve, archer2_pstates
+
+__all__ = ["OperatingPoint", "CpuModel"]
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """A fully resolved CPU operating point."""
+
+    setting: FrequencySetting
+    mode: DeterminismMode
+    effective_ghz: float
+    turbo_active: bool
+
+
+@dataclass(frozen=True)
+class CpuModel:
+    """Combines the P-state table, V/f curve and determinism model.
+
+    The default construction is an ARCHER2 EPYC-7742-class socket.
+    """
+
+    pstates: PStateTable = field(default_factory=archer2_pstates)
+    vf_curve: VoltageFrequencyCurve = field(default_factory=VoltageFrequencyCurve)
+    determinism: DeterminismModel = field(default_factory=DeterminismModel)
+
+    @property
+    def reference_ghz(self) -> float:
+        """DVFS reference frequency — the highest load frequency any state reaches."""
+        return self.pstates.max_effective_ghz
+
+    def operating_point(
+        self, setting: FrequencySetting, mode: DeterminismMode
+    ) -> OperatingPoint:
+        """Resolve the sustained load frequency for a setting/mode pair.
+
+        Turbo headroom is granted by the power envelope, so the determinism
+        boost derate only applies when the state actually boosts; fixed
+        frequencies are honoured exactly in both modes.
+        """
+        state = self.pstates.get(setting)
+        if state.turbo:
+            eff = state.effective_ghz * self.determinism.boost_factor(mode)
+        else:
+            eff = state.frequency_ghz
+        return OperatingPoint(
+            setting=setting, mode=mode, effective_ghz=eff, turbo_active=state.turbo
+        )
+
+    def dynamic_scale(self, point: OperatingPoint) -> float:
+        """DVFS dynamic-power scale of an operating point vs the reference."""
+        return float(
+            self.vf_curve.dynamic_scale(point.effective_ghz, self.reference_ghz)
+        )
+
+    def dynamic_power_factor(self, point: OperatingPoint) -> float:
+        """Determinism-mode multiplier on dynamic power at this point."""
+        return self.determinism.dynamic_power_factor(point.mode)

@@ -1,0 +1,135 @@
+"""Node power caps (cTDP / RAPL-style limits) as a third control lever.
+
+Besides the paper's two interventions (BIOS determinism, frequency default),
+EPYC-class platforms expose configurable power limits. Under a cap the
+processor throttles frequency until the package fits the budget, so the
+*effective* frequency becomes workload-dependent: compute-bound jobs (high
+dynamic power) throttle deep, memory-bound jobs barely notice — the same
+asymmetry the paper exploits with the 2.0 GHz default, but expressed in
+watts instead of hertz.
+
+:func:`effective_frequency_under_cap` inverts the node power model: find the
+highest frequency at which the app's power stays within the cap. With the
+monotone DVFS curve this is a bisection, kept analytic-free so any V/f curve
+works.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..units import ensure_positive
+from ..workload.applications import AppProfile
+from .cpu import OperatingPoint
+from .determinism import DeterminismMode
+from .node_power import NodePowerModel
+from .pstates import FrequencySetting
+
+__all__ = ["CapResult", "effective_frequency_under_cap", "cap_comparison"]
+
+
+@dataclass(frozen=True)
+class CapResult:
+    """How one application behaves under a node power cap."""
+
+    app_name: str
+    cap_w: float
+    effective_ghz: float
+    node_power_w: float
+    perf_ratio: float  # vs the uncapped turbo operating point
+    throttled: bool
+
+
+def _power_at(
+    node_model: NodePowerModel,
+    app: AppProfile,
+    frequency_ghz: float,
+    mode: DeterminismMode,
+) -> float:
+    profile = app.roofline.at(frequency_ghz)
+    point = OperatingPoint(
+        setting=FrequencySetting.GHZ_2_25_TURBO,
+        mode=mode,
+        effective_ghz=frequency_ghz,
+        turbo_active=False,
+    )
+    return float(
+        node_model.busy_power_w(point, profile.compute_activity, profile.memory_activity)
+    )
+
+
+def effective_frequency_under_cap(
+    app: AppProfile,
+    cap_w: float,
+    node_model: NodePowerModel,
+    mode: DeterminismMode = DeterminismMode.PERFORMANCE,
+    f_min_ghz: float = 1.0,
+    tolerance_ghz: float = 1e-4,
+) -> CapResult:
+    """Highest sustainable frequency for ``app`` under a node power cap.
+
+    If even the turbo point fits the cap, the app runs uncapped. If the cap
+    is below the app's power at ``f_min_ghz``, the cap is infeasible for
+    this workload and a :class:`ConfigurationError` is raised — real
+    platforms would throttle below the floor or fault, either way outside
+    this model's validity.
+    """
+    ensure_positive(cap_w, "cap_w")
+    ensure_positive(f_min_ghz, "f_min_ghz")
+    f_max = node_model.cpu.operating_point(
+        FrequencySetting.GHZ_2_25_TURBO, mode
+    ).effective_ghz
+    if f_min_ghz >= f_max:
+        raise ConfigurationError("f_min_ghz must be below the turbo frequency")
+
+    p_max = _power_at(node_model, app, f_max, mode)
+    if p_max <= cap_w:
+        return CapResult(
+            app_name=app.name,
+            cap_w=cap_w,
+            effective_ghz=f_max,
+            node_power_w=p_max,
+            perf_ratio=1.0,
+            throttled=False,
+        )
+    p_min = _power_at(node_model, app, f_min_ghz, mode)
+    if p_min > cap_w:
+        raise ConfigurationError(
+            f"cap {cap_w:.0f} W below {app.name!r}'s floor power "
+            f"{p_min:.0f} W at {f_min_ghz} GHz"
+        )
+    lo, hi = f_min_ghz, f_max
+    while hi - lo > tolerance_ghz:
+        mid = 0.5 * (lo + hi)
+        if _power_at(node_model, app, mid, mode) <= cap_w:
+            lo = mid
+        else:
+            hi = mid
+    freq = lo
+    return CapResult(
+        app_name=app.name,
+        cap_w=cap_w,
+        effective_ghz=freq,
+        node_power_w=_power_at(node_model, app, freq, mode),
+        perf_ratio=app.roofline.perf_ratio(freq, baseline_ghz=f_max),
+        throttled=True,
+    )
+
+
+def cap_comparison(
+    apps: dict[str, AppProfile],
+    cap_w: float,
+    node_model: NodePowerModel,
+    mode: DeterminismMode = DeterminismMode.PERFORMANCE,
+) -> list[CapResult]:
+    """Cap behaviour across a catalogue — the watts-domain analogue of Table 4.
+
+    The characteristic result: a single fleet-wide cap throttles
+    compute-bound apps hard while leaving memory-bound apps untouched,
+    making caps a *self-selecting* version of the frequency policy.
+    """
+    return [
+        effective_frequency_under_cap(app, cap_w, node_model, mode)
+        for app in apps.values()
+    ]

@@ -1,0 +1,30 @@
+"""Scheduler substrate: discrete-event engine, node pool, EASY backfill."""
+
+from .accounting import PowerTrace, SimulationResult, TraceBuilder
+from .backfill import (
+    BackfillScheduler,
+    ExecutionEnvironment,
+    ResolvedExecution,
+    StaticEnvironment,
+)
+from .demand_response import DemandResponseEnvironment, response_latency_estimate
+from .engine import Event, EventKind, EventQueue
+from .frequency_policy import FrequencyPolicy
+from .partition import NodePool
+
+__all__ = [
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "NodePool",
+    "FrequencyPolicy",
+    "ResolvedExecution",
+    "ExecutionEnvironment",
+    "StaticEnvironment",
+    "BackfillScheduler",
+    "DemandResponseEnvironment",
+    "response_latency_estimate",
+    "PowerTrace",
+    "TraceBuilder",
+    "SimulationResult",
+]

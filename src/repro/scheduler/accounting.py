@@ -1,0 +1,180 @@
+"""Simulation accounting: job records, power traces, utilisation metrics.
+
+A :class:`SimulationResult` is the scheduler's complete output. The power
+trace is piecewise-constant — values hold from one event to the next — which
+is exactly the form the telemetry layer samples from and the analysis layer
+integrates exactly (no quadrature error).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import SchedulingError
+from ..units import JOULES_PER_KWH
+from ..workload.jobs import JobRecord
+
+__all__ = ["PowerTrace", "TraceBuilder", "SimulationResult"]
+
+
+@dataclass(frozen=True)
+class PowerTrace:
+    """Piecewise-constant facility state over the simulated span.
+
+    ``busy_power_w[i]`` and ``busy_nodes[i]`` hold on
+    ``[times_s[i], times_s[i+1])``; the final value holds to ``t_end_s``.
+    """
+
+    times_s: np.ndarray
+    busy_power_w: np.ndarray
+    busy_nodes: np.ndarray
+    t_end_s: float
+
+    def __post_init__(self) -> None:
+        if not (len(self.times_s) == len(self.busy_power_w) == len(self.busy_nodes)):
+            raise SchedulingError("trace arrays must have equal length")
+        if len(self.times_s) == 0:
+            raise SchedulingError("trace must contain at least one point")
+        if np.any(np.diff(self.times_s) < 0):
+            raise SchedulingError("trace times must be non-decreasing")
+        if self.t_end_s < self.times_s[-1]:
+            raise SchedulingError("t_end_s precedes the last trace point")
+
+    @property
+    def t_start_s(self) -> float:
+        """First instant of the trace."""
+        return float(self.times_s[0])
+
+    def _segment_durations(self) -> np.ndarray:
+        edges = np.append(self.times_s, self.t_end_s)
+        return np.diff(edges)
+
+    def time_weighted_mean(self, values: np.ndarray) -> float:
+        """Exact time-weighted mean of a piecewise-constant signal."""
+        durations = self._segment_durations()
+        total = durations.sum()
+        if total <= 0:
+            return float(values[-1])
+        return float(np.dot(values, durations) / total)
+
+    def mean_busy_power_w(self) -> float:
+        """Mean power of busy nodes over the span, watts."""
+        return self.time_weighted_mean(self.busy_power_w)
+
+    def mean_busy_nodes(self) -> float:
+        """Mean number of busy nodes over the span."""
+        return self.time_weighted_mean(self.busy_nodes)
+
+    def energy_j(self) -> float:
+        """Exact busy-node energy over the span, joules."""
+        return float(np.dot(self.busy_power_w, self._segment_durations()))
+
+    def sample(self, sample_times_s: np.ndarray) -> np.ndarray:
+        """Sample busy power at arbitrary times (previous-value hold).
+
+        Vectorised with ``np.searchsorted``; times before the trace start
+        return the first value.
+        """
+        t = np.asarray(sample_times_s, dtype=float)
+        idx = np.searchsorted(self.times_s, t, side="right") - 1
+        idx = np.clip(idx, 0, len(self.times_s) - 1)
+        return self.busy_power_w[idx]
+
+    def sample_busy_nodes(self, sample_times_s: np.ndarray) -> np.ndarray:
+        """Sample the busy-node count at arbitrary times (previous-value hold)."""
+        t = np.asarray(sample_times_s, dtype=float)
+        idx = np.searchsorted(self.times_s, t, side="right") - 1
+        idx = np.clip(idx, 0, len(self.times_s) - 1)
+        return self.busy_nodes[idx]
+
+
+@dataclass
+class TraceBuilder:
+    """Accumulates trace points during simulation, then freezes them."""
+
+    t_start_s: float
+    _times: list[float] = field(default_factory=list)
+    _power: list[float] = field(default_factory=list)
+    _nodes: list[int] = field(default_factory=list)
+
+    def append(self, time_s: float, busy_power_w: float, busy_nodes: int) -> None:
+        """Record the state holding from ``time_s`` onwards."""
+        if self._times and time_s == self._times[-1]:
+            # Same-instant update (several starts in one scheduling pass):
+            # keep only the final state for that instant.
+            self._power[-1] = busy_power_w
+            self._nodes[-1] = busy_nodes
+            return
+        self._times.append(time_s)
+        self._power.append(busy_power_w)
+        self._nodes.append(busy_nodes)
+
+    def build(self, t_end_s: float) -> PowerTrace:
+        """Freeze into an immutable :class:`PowerTrace`."""
+        if not self._times:
+            self.append(self.t_start_s, 0.0, 0)
+        return PowerTrace(
+            times_s=np.asarray(self._times, dtype=float),
+            busy_power_w=np.asarray(self._power, dtype=float),
+            busy_nodes=np.asarray(self._nodes, dtype=float),
+            t_end_s=t_end_s,
+        )
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Everything a scheduler run produced."""
+
+    n_nodes: int
+    t_start_s: float
+    t_end_s: float
+    records: list[JobRecord]
+    n_unstarted: int
+    trace: PowerTrace
+
+    @property
+    def span_s(self) -> float:
+        """Simulated wall-clock span, seconds."""
+        return self.t_end_s - self.t_start_s
+
+    def mean_utilisation(self) -> float:
+        """Time-weighted mean node utilisation over the span."""
+        return self.trace.mean_busy_nodes() / self.n_nodes
+
+    def total_node_hours(self) -> float:
+        """Node-hours delivered to jobs within the span."""
+        return sum(r.node_hours for r in self.records)
+
+    def total_energy_kwh(self) -> float:
+        """Busy-node energy integrated over the span, kWh."""
+        return self.trace.energy_j() / JOULES_PER_KWH
+
+    def mean_wait_s(self) -> float:
+        """Mean queue wait of started jobs, seconds (0 when no records)."""
+        if not self.records:
+            return 0.0
+        return float(np.mean([r.wait_s for r in self.records]))
+
+    def node_hours_by_app(self) -> dict[str, float]:
+        """Node-hours per application name."""
+        shares: dict[str, float] = {}
+        for r in self.records:
+            shares[r.job.app.name] = shares.get(r.job.app.name, 0.0) + r.node_hours
+        return shares
+
+    def node_hours_by_setting(self) -> dict[str, float]:
+        """Node-hours per frequency setting actually used (policy audit)."""
+        shares: dict[str, float] = {}
+        for r in self.records:
+            key = r.setting.value
+            shares[key] = shares.get(key, 0.0) + r.node_hours
+        return shares
+
+    def mean_busy_node_power_w(self) -> float:
+        """Mean per-busy-node power, watts (0 when nothing ran)."""
+        busy_nodes = self.trace.mean_busy_nodes()
+        if busy_nodes == 0:
+            return 0.0
+        return self.trace.mean_busy_power_w() / busy_nodes

@@ -1,0 +1,300 @@
+"""EASY-backfill batch scheduler over the node pool.
+
+Implements the classic EASY (Extensible Argonne Scheduling sYstem) policy the
+production Slurm configuration on ARCHER2 approximates: first-come
+first-served with a reservation for the queue head, plus backfill — a later
+job may jump ahead if it fits in the currently free nodes and either finishes
+before the head's reservation ("shadow time") or only uses nodes the head
+will not need.
+
+The scheduler is deliberately ignorant of power physics: an
+:class:`ExecutionEnvironment` resolves each job's frequency setting, runtime
+and per-node power at start time. The production implementation of that
+protocol lives in :mod:`repro.core.campaign`, where BIOS/frequency
+interventions change the environment mid-simulation; a static variant is
+provided here for direct use.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from ..errors import SchedulingError
+from ..node.cpu import CpuModel
+from ..node.determinism import DeterminismMode
+from ..node.node_power import NodePowerModel
+from ..node.pstates import FrequencySetting
+from ..workload.jobs import Job, JobRecord
+from .accounting import SimulationResult, TraceBuilder
+from .engine import Event, EventKind, EventQueue
+from .frequency_policy import FrequencyPolicy
+from .partition import NodePool
+
+__all__ = [
+    "ResolvedExecution",
+    "ExecutionEnvironment",
+    "StaticEnvironment",
+    "BackfillScheduler",
+]
+
+
+@dataclass(frozen=True)
+class ResolvedExecution:
+    """How a job will execute, decided at its start time."""
+
+    setting: FrequencySetting
+    effective_ghz: float
+    runtime_s: float
+    node_power_w: float
+
+
+class ExecutionEnvironment(Protocol):
+    """Resolves operating conditions for a job starting at a given time."""
+
+    def resolve(self, job: Job, time_s: float) -> ResolvedExecution:  # pragma: no cover
+        """Return the execution parameters for ``job`` starting at ``time_s``."""
+        ...
+
+
+@dataclass(frozen=True)
+class StaticEnvironment:
+    """Time-invariant environment: one BIOS mode, one frequency policy.
+
+    Resolution is memoised per (application, user override): the physics
+    depends only on the app's roofline and the chosen operating point, so a
+    month-long simulation touches the node model once per distinct app
+    rather than once per scheduling decision.
+    """
+
+    node_model: NodePowerModel
+    mode: DeterminismMode = DeterminismMode.POWER
+    policy: FrequencyPolicy = field(default_factory=FrequencyPolicy)
+    _cache: dict = field(default_factory=dict, compare=False, repr=False)
+
+    @property
+    def cpu(self) -> CpuModel:
+        """The CPU model execution resolves against."""
+        return self.node_model.cpu
+
+    def resolve(self, job: Job, time_s: float) -> ResolvedExecution:
+        key = (job.app.name, job.frequency_override)
+        cached = self._cache.get(key)
+        if cached is None:
+            setting = self.policy.setting_for(job, self.cpu, self.mode)
+            point = self.cpu.operating_point(setting, self.mode)
+            profile = job.app.roofline.at(point.effective_ghz)
+            power = self.node_model.busy_power_w(
+                point, profile.compute_activity, profile.memory_activity
+            )
+            cached = (setting, point.effective_ghz, profile.time_ratio, float(power))
+            self._cache[key] = cached
+        setting, effective_ghz, time_ratio, power_w = cached
+        return ResolvedExecution(
+            setting=setting,
+            effective_ghz=effective_ghz,
+            runtime_s=job.reference_runtime_s * time_ratio,
+            node_power_w=power_w,
+        )
+
+
+@dataclass
+class _Running:
+    """Book-keeping for an in-flight job."""
+
+    job: Job
+    start_s: float
+    end_s: float
+    resolved: ResolvedExecution
+
+
+class BackfillScheduler:
+    """EASY-backfill simulator producing job records and a power trace.
+
+    ``offline_nodes`` models the steady failure/maintenance drain
+    (:class:`repro.facility.failures.FailureModel`): those nodes never host
+    jobs but still draw idle power in the facility roll-up, since the
+    telemetry recorder charges idle power to every non-busy node.
+    """
+
+    def __init__(
+        self, n_nodes: int, backfill_depth: int = 100, offline_nodes: int = 0
+    ) -> None:
+        if backfill_depth < 0:
+            raise SchedulingError("backfill_depth must be non-negative")
+        if not 0 <= offline_nodes < n_nodes:
+            raise SchedulingError(
+                f"offline_nodes must be in [0, {n_nodes}), got {offline_nodes}"
+            )
+        self.n_nodes = n_nodes
+        self.backfill_depth = backfill_depth
+        self.offline_nodes = offline_nodes
+
+    # -- public API ---------------------------------------------------------
+
+    def run(
+        self,
+        jobs: list[Job],
+        t_end_s: float,
+        environment: ExecutionEnvironment,
+        t_start_s: float = 0.0,
+    ) -> SimulationResult:
+        """Simulate ``jobs`` until ``t_end_s`` under ``environment``.
+
+        Jobs still running at ``t_end_s`` are truncated there (their energy
+        accounts only for the simulated span); jobs still waiting are
+        reported as unstarted.
+        """
+        if t_end_s <= t_start_s:
+            raise SchedulingError("t_end_s must exceed t_start_s")
+        available = self.n_nodes - self.offline_nodes
+        for job in jobs:
+            if job.n_nodes > available:
+                raise SchedulingError(
+                    f"job {job.job_id} requests {job.n_nodes} nodes; "
+                    f"facility has {available} available "
+                    f"({self.offline_nodes} offline)"
+                )
+
+        pool = NodePool(available)
+        queue = EventQueue()
+        waiting: deque[Job] = deque()
+        running: dict[int, _Running] = {}
+        records: list[JobRecord] = []
+        trace = TraceBuilder(t_start_s)
+
+        for job in sorted(jobs, key=lambda j: j.submit_time_s):
+            if job.submit_time_s < t_end_s:
+                queue.push(Event(job.submit_time_s, EventKind.JOB_SUBMIT, job))
+        queue.push(Event(t_end_s, EventKind.SIM_END))
+
+        busy_power_w = 0.0
+
+        def record_trace(t: float) -> None:
+            trace.append(t, busy_power_w, pool.busy)
+
+        def start_job(job: Job, now: float) -> None:
+            nonlocal busy_power_w
+            resolved = environment.resolve(job, now)
+            pool.allocate(job.n_nodes)
+            end_s = now + resolved.runtime_s
+            running[job.job_id] = _Running(job, now, end_s, resolved)
+            busy_power_w += resolved.node_power_w * job.n_nodes
+            record_trace(now)
+            if end_s <= t_end_s:
+                queue.push(Event(end_s, EventKind.JOB_END, job.job_id))
+
+        def schedule_pass(now: float) -> None:
+            # FCFS phase: start queue heads while they fit.
+            while waiting and pool.fits(waiting[0].n_nodes):
+                start_job(waiting.popleft(), now)
+            if not waiting:
+                return
+            # EASY backfill phase: reserve for the head, fill around it.
+            head = waiting[0]
+            shadow_s, spare = self._reservation(head, pool, running, now)
+            depth = 0
+            idx = 1
+            items = list(waiting)
+            started: set[int] = set()
+            for cand in items[1:]:
+                if depth >= self.backfill_depth:
+                    break
+                depth += 1
+                idx += 1
+                if not pool.fits(cand.n_nodes):
+                    continue
+                runtime = environment.resolve(cand, now).runtime_s
+                ends_before_shadow = now + runtime <= shadow_s
+                within_spare = cand.n_nodes <= spare
+                if ends_before_shadow or within_spare:
+                    start_job(cand, now)
+                    if within_spare and not ends_before_shadow:
+                        spare -= cand.n_nodes
+                    started.add(cand.job_id)
+            if started:
+                remaining = [j for j in waiting if j.job_id not in started]
+                waiting.clear()
+                waiting.extend(remaining)
+
+        def end_job(job_id: int, now: float) -> None:
+            nonlocal busy_power_w
+            run = running.pop(job_id)
+            pool.release(run.job.n_nodes)
+            busy_power_w -= run.resolved.node_power_w * run.job.n_nodes
+            if abs(busy_power_w) < 1e-6:
+                busy_power_w = 0.0
+            record_trace(now)
+            records.append(
+                JobRecord(
+                    job=run.job,
+                    start_time_s=run.start_s,
+                    end_time_s=now,
+                    setting=run.resolved.setting,
+                    effective_ghz=run.resolved.effective_ghz,
+                    node_power_w=run.resolved.node_power_w,
+                )
+            )
+
+        record_trace(t_start_s)
+        while queue:
+            event = queue.pop()
+            now = event.time_s
+            if event.kind is EventKind.SIM_END:
+                break
+            if event.kind is EventKind.JOB_SUBMIT:
+                waiting.append(event.payload)
+            elif event.kind is EventKind.JOB_END:
+                end_job(event.payload, now)
+            schedule_pass(now)
+
+        # Truncate still-running jobs at the horizon.
+        for run in running.values():
+            records.append(
+                JobRecord(
+                    job=run.job,
+                    start_time_s=run.start_s,
+                    end_time_s=t_end_s,
+                    setting=run.resolved.setting,
+                    effective_ghz=run.resolved.effective_ghz,
+                    node_power_w=run.resolved.node_power_w,
+                )
+            )
+
+        return SimulationResult(
+            n_nodes=self.n_nodes,
+            t_start_s=t_start_s,
+            t_end_s=t_end_s,
+            records=records,
+            n_unstarted=len(waiting),
+            trace=trace.build(t_end_s),
+        )
+
+    # -- internals -----------------------------------------------------------
+
+    @staticmethod
+    def _reservation(
+        head: Job,
+        pool: NodePool,
+        running: dict[int, _Running],
+        now: float,
+    ) -> tuple[float, int]:
+        """EASY reservation for the queue head.
+
+        Returns ``(shadow_time, spare_nodes)``: the earliest time enough
+        nodes will be free for the head, and how many nodes beyond the
+        head's need will be free then (backfill jobs using only spare nodes
+        cannot delay the head even if they run long).
+        """
+        if pool.fits(head.n_nodes):
+            return now, pool.free - head.n_nodes
+        available = pool.free
+        for run in sorted(running.values(), key=lambda r: r.end_s):
+            available += run.job.n_nodes
+            if available >= head.n_nodes:
+                return run.end_s, available - head.n_nodes
+        raise SchedulingError(
+            f"job {head.job.job_id if isinstance(head, _Running) else head.job_id} "
+            "can never be scheduled"
+        )

@@ -1,0 +1,68 @@
+"""Node pool with allocation invariants.
+
+Power on ARCHER2 is node-count- not placement-dominated (the fabric draws
+constant power), so the pool tracks counts rather than individual node IDs;
+the interconnect package handles topology questions separately. The pool
+enforces conservation — allocations never exceed capacity and releases never
+exceed outstanding allocations — which the property tests hammer.
+"""
+
+from __future__ import annotations
+
+from ..errors import AllocationError
+
+__all__ = ["NodePool"]
+
+
+class NodePool:
+    """Counts-based allocator over a fixed set of identical nodes."""
+
+    def __init__(self, n_nodes: int) -> None:
+        if n_nodes <= 0:
+            raise AllocationError(f"n_nodes must be positive, got {n_nodes}")
+        self._n_nodes = n_nodes
+        self._busy = 0
+
+    @property
+    def n_nodes(self) -> int:
+        """Total nodes in the pool."""
+        return self._n_nodes
+
+    @property
+    def busy(self) -> int:
+        """Nodes currently allocated to jobs."""
+        return self._busy
+
+    @property
+    def free(self) -> int:
+        """Nodes currently idle."""
+        return self._n_nodes - self._busy
+
+    @property
+    def utilisation(self) -> float:
+        """Busy fraction ∈ [0, 1]."""
+        return self._busy / self._n_nodes
+
+    def fits(self, n: int) -> bool:
+        """Whether an ``n``-node request can start now."""
+        return 0 < n <= self.free
+
+    def allocate(self, n: int) -> None:
+        """Claim ``n`` nodes; raises :class:`AllocationError` when impossible."""
+        if n <= 0:
+            raise AllocationError(f"allocation size must be positive, got {n}")
+        if n > self.free:
+            raise AllocationError(
+                f"cannot allocate {n} nodes: only {self.free} of {self._n_nodes} free"
+            )
+        self._busy += n
+
+    def release(self, n: int) -> None:
+        """Return ``n`` nodes; raises on over-release (double-free guard)."""
+        if n <= 0:
+            raise AllocationError(f"release size must be positive, got {n}")
+        if n > self._busy:
+            raise AllocationError(
+                f"cannot release {n} nodes: only {self._busy} allocated"
+            )
+        self._busy -= n

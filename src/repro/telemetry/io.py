@@ -1,0 +1,65 @@
+"""Telemetry persistence: CSV (interchange) and NPZ (compact) round-trips."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import TelemetryError
+from .series import TimeSeries
+
+__all__ = ["save_csv", "load_csv", "save_npz", "load_npz"]
+
+_CSV_HEADER = ("time_s", "value")
+
+
+def save_csv(series: TimeSeries, path: str | Path) -> None:
+    """Write a series as two-column CSV with a header row.
+
+    NaN dropouts are written as empty fields, the common telemetry-export
+    convention.
+    """
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(_CSV_HEADER)
+        for t, v in zip(series.times_s, series.values):
+            writer.writerow([f"{t:.6f}", "" if np.isnan(v) else f"{v:.6f}"])
+
+
+def load_csv(path: str | Path, name: str = "") -> TimeSeries:
+    """Read a series written by :func:`save_csv` (empty fields → NaN)."""
+    path = Path(path)
+    times: list[float] = []
+    values: list[float] = []
+    with path.open(newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if header is None or tuple(header) != _CSV_HEADER:
+            raise TelemetryError(f"{path}: not a telemetry CSV (bad header {header!r})")
+        for row in reader:
+            if len(row) != 2:
+                raise TelemetryError(f"{path}: malformed row {row!r}")
+            times.append(float(row[0]))
+            values.append(float("nan") if row[1] == "" else float(row[1]))
+    return TimeSeries(np.asarray(times), np.asarray(values), name or path.stem)
+
+
+def save_npz(series: TimeSeries, path: str | Path) -> None:
+    """Write a series as a compressed NPZ archive."""
+    np.savez_compressed(
+        Path(path), times_s=series.times_s, values=series.values, name=series.name
+    )
+
+
+def load_npz(path: str | Path) -> TimeSeries:
+    """Read a series written by :func:`save_npz`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        try:
+            return TimeSeries(
+                data["times_s"], data["values"], str(data["name"])
+            )
+        except KeyError as exc:
+            raise TelemetryError(f"{path}: missing array {exc}") from exc

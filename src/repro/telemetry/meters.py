@@ -1,0 +1,95 @@
+"""Power meters: noisy, lossy sampling of the true facility power.
+
+The ARCHER2 analysis consumed cabinet-level power telemetry provided by the
+vendor's monitoring database. Real meters sample on a fixed cadence, carry
+calibration and quantisation noise, and occasionally drop samples. The meter
+model reproduces those artefacts so the downstream analysis (change-point
+detection, baseline means) is exercised against realistic data rather than
+the simulator's exact piecewise-constant truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import TelemetryError
+from ..units import ensure_fraction, ensure_nonnegative, ensure_positive
+from .series import TimeSeries
+
+__all__ = ["MeterSpec", "PowerMeter"]
+
+
+@dataclass(frozen=True)
+class MeterSpec:
+    """Measurement characteristics of a power meter.
+
+    Parameters
+    ----------
+    interval_s:
+        Sampling cadence (ARCHER2 cabinet telemetry is minute-scale; the
+        figures in the paper are plotted from coarser aggregates).
+    noise_fraction:
+        Relative 1σ Gaussian noise per sample (sensor accuracy class).
+    dropout_probability:
+        Chance a sample is lost (recorded as NaN).
+    quantisation_w:
+        Measurement resolution in watts; 0 disables quantisation.
+    """
+
+    interval_s: float = 900.0
+    noise_fraction: float = 0.01
+    dropout_probability: float = 0.002
+    quantisation_w: float = 100.0
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.interval_s, "interval_s")
+        ensure_fraction(self.noise_fraction, "noise_fraction")
+        ensure_fraction(self.dropout_probability, "dropout_probability")
+        ensure_nonnegative(self.quantisation_w, "quantisation_w")
+
+
+@dataclass(frozen=True)
+class PowerMeter:
+    """Samples a true power signal into a measured :class:`TimeSeries`."""
+
+    spec: MeterSpec
+    name: str = "meter"
+
+    def sample_function(
+        self,
+        true_power_w,
+        t_start_s: float,
+        t_end_s: float,
+        rng: np.random.Generator,
+    ) -> TimeSeries:
+        """Measure a callable ``true_power_w(times) -> watts`` over a span.
+
+        ``true_power_w`` must accept a numpy array of sample times and
+        return the instantaneous true power at each — the scheduler's
+        :meth:`~repro.scheduler.accounting.PowerTrace.sample` composed with
+        the facility roll-up has exactly this shape.
+        """
+        if t_end_s <= t_start_s:
+            raise TelemetryError("t_end_s must exceed t_start_s")
+        times = np.arange(t_start_s, t_end_s, self.spec.interval_s)
+        if len(times) == 0:
+            raise TelemetryError("span shorter than one sampling interval")
+        truth = np.asarray(true_power_w(times), dtype=float)
+        if truth.shape != times.shape:
+            raise TelemetryError(
+                f"true power shape {truth.shape} != sample times shape {times.shape}"
+            )
+        return self._measure(times, truth, rng)
+
+    def _measure(
+        self, times: np.ndarray, truth: np.ndarray, rng: np.random.Generator
+    ) -> TimeSeries:
+        noisy = truth * (1.0 + rng.normal(0.0, self.spec.noise_fraction, size=truth.shape))
+        if self.spec.quantisation_w > 0:
+            noisy = np.round(noisy / self.spec.quantisation_w) * self.spec.quantisation_w
+        if self.spec.dropout_probability > 0:
+            lost = rng.random(noisy.shape) < self.spec.dropout_probability
+            noisy = np.where(lost, np.nan, noisy)
+        return TimeSeries(times, noisy, self.name)

@@ -1,0 +1,119 @@
+"""Telemetry data-quality checks.
+
+Facility power analysis is only as good as its telemetry. Before computing
+baselines or intervention impacts, production pipelines validate coverage
+(what fraction of expected samples arrived), locate gaps (meter outages) and
+flag flatlines (stuck sensors). The paper's multi-month means implicitly
+assume healthy telemetry; this module makes the assumption checkable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import TelemetryError
+from ..units import ensure_positive
+from .series import TimeSeries
+
+__all__ = ["Gap", "QualityReport", "find_gaps", "find_flatlines", "assess_quality"]
+
+
+@dataclass(frozen=True)
+class Gap:
+    """A telemetry outage: no valid sample for longer than the threshold."""
+
+    start_s: float
+    end_s: float
+
+    @property
+    def duration_s(self) -> float:
+        """Outage length, seconds."""
+        return self.end_s - self.start_s
+
+
+@dataclass(frozen=True)
+class QualityReport:
+    """Summary of a series' fitness for baseline/impact analysis."""
+
+    n_samples: int
+    n_valid: int
+    coverage: float  # valid samples / total samples
+    gaps: tuple[Gap, ...]
+    longest_gap_s: float
+    flatline_fraction: float
+
+    def healthy(
+        self,
+        min_coverage: float = 0.95,
+        max_gap_s: float = 86_400.0,
+        max_flatline: float = 0.2,
+    ) -> bool:
+        """Whether the series passes the default analysis gates."""
+        return (
+            self.coverage >= min_coverage
+            and self.longest_gap_s <= max_gap_s
+            and self.flatline_fraction <= max_flatline
+        )
+
+
+def find_gaps(series: TimeSeries, max_gap_s: float) -> list[Gap]:
+    """Spans longer than ``max_gap_s`` without a valid sample.
+
+    Both NaN dropouts and missing timestamps count: the gap is measured
+    between consecutive *valid* samples.
+    """
+    ensure_positive(max_gap_s, "max_gap_s")
+    valid_times = series.times_s[~np.isnan(series.values)]
+    if len(valid_times) < 2:
+        if len(series) >= 2:
+            return [Gap(start_s=series.t_start_s, end_s=series.t_end_s)]
+        return []
+    deltas = np.diff(valid_times)
+    idx = np.nonzero(deltas > max_gap_s)[0]
+    return [Gap(start_s=float(valid_times[i]), end_s=float(valid_times[i + 1])) for i in idx]
+
+
+def find_flatlines(series: TimeSeries, min_run: int = 8) -> float:
+    """Fraction of samples inside runs of ``min_run``+ identical values.
+
+    Power telemetry from a live facility always jitters; long exact repeats
+    indicate a stuck sensor or an upstream fill-forward. NaNs never count as
+    flat.
+    """
+    if min_run < 2:
+        raise TelemetryError("min_run must be at least 2")
+    values = series.values
+    n = len(values)
+    if n < min_run:
+        return 0.0
+    same = np.zeros(n, dtype=bool)
+    same[1:] = (values[1:] == values[:-1]) & ~np.isnan(values[1:])
+    # Run-length encode the "same as previous" flags.
+    flat = np.zeros(n, dtype=bool)
+    run_start = 0
+    run_len = 1
+    for i in range(1, n + 1):
+        if i < n and same[i]:
+            run_len += 1
+            continue
+        if run_len >= min_run:
+            flat[run_start : run_start + run_len] = True
+        run_start = i
+        run_len = 1
+    return float(np.count_nonzero(flat)) / n
+
+
+def assess_quality(series: TimeSeries, max_gap_s: float = 3600.0) -> QualityReport:
+    """Full quality assessment of a power series."""
+    gaps = find_gaps(series, max_gap_s)
+    longest = max((g.duration_s for g in gaps), default=0.0)
+    return QualityReport(
+        n_samples=len(series),
+        n_valid=series.n_valid,
+        coverage=series.n_valid / len(series),
+        gaps=tuple(gaps),
+        longest_gap_s=longest,
+        flatline_fraction=find_flatlines(series),
+    )

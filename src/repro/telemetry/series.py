@@ -1,0 +1,186 @@
+"""Numpy-backed time series for power telemetry.
+
+The fundamental data shape of the paper's §3: timestamped power samples from
+the cabinet meters. The series is immutable, keeps timestamps strictly
+increasing, and provides the handful of operations the analysis layer needs —
+slicing, resampling, rolling means, and gap handling (meters drop samples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SeriesShapeError
+
+__all__ = ["TimeSeries"]
+
+
+@dataclass(frozen=True)
+class TimeSeries:
+    """An irregular (or regular) scalar time series.
+
+    ``times_s`` must be strictly increasing; ``values`` is any float signal
+    (watts for power series). NaN values are allowed and represent meter
+    dropouts; statistics skip them.
+    """
+
+    times_s: np.ndarray
+    values: np.ndarray
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        times = np.asarray(self.times_s, dtype=float)
+        values = np.asarray(self.values, dtype=float)
+        if times.ndim != 1 or values.ndim != 1:
+            raise SeriesShapeError("times and values must be 1-D")
+        if len(times) != len(values):
+            raise SeriesShapeError(
+                f"length mismatch: {len(times)} times vs {len(values)} values"
+            )
+        if len(times) == 0:
+            raise SeriesShapeError("series cannot be empty")
+        if np.any(~np.isfinite(times)):
+            raise SeriesShapeError("timestamps must be finite")
+        if np.any(np.diff(times) <= 0):
+            raise SeriesShapeError("timestamps must be strictly increasing")
+        object.__setattr__(self, "times_s", times)
+        object.__setattr__(self, "values", values)
+
+    # -- basics ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.times_s)
+
+    @property
+    def t_start_s(self) -> float:
+        """First timestamp."""
+        return float(self.times_s[0])
+
+    @property
+    def t_end_s(self) -> float:
+        """Last timestamp."""
+        return float(self.times_s[-1])
+
+    @property
+    def span_s(self) -> float:
+        """Covered span, seconds."""
+        return self.t_end_s - self.t_start_s
+
+    @property
+    def n_valid(self) -> int:
+        """Number of non-NaN samples."""
+        return int(np.count_nonzero(~np.isnan(self.values)))
+
+    # -- statistics -------------------------------------------------------------
+
+    def mean(self) -> float:
+        """Arithmetic mean over valid samples (the paper's orange lines)."""
+        return float(np.nanmean(self.values))
+
+    def std(self) -> float:
+        """Standard deviation over valid samples."""
+        return float(np.nanstd(self.values))
+
+    def percentile(self, q: float | np.ndarray) -> float | np.ndarray:
+        """Percentile(s) over valid samples."""
+        out = np.nanpercentile(self.values, q)
+        return float(out) if np.ndim(out) == 0 else out
+
+    def min(self) -> float:
+        """Minimum over valid samples."""
+        return float(np.nanmin(self.values))
+
+    def max(self) -> float:
+        """Maximum over valid samples."""
+        return float(np.nanmax(self.values))
+
+    def time_weighted_mean(self) -> float:
+        """Mean weighting each sample by its holding interval.
+
+        For regular sampling this equals :meth:`mean`; for irregular series
+        it is the better estimate of energy-relevant average power. NaN
+        samples contribute neither value nor time.
+        """
+        if len(self) == 1:
+            return float(self.values[0])
+        durations = np.diff(np.append(self.times_s, self.times_s[-1] * 2 - self.times_s[-2]))
+        valid = ~np.isnan(self.values)
+        if not np.any(valid):
+            return float("nan")
+        return float(
+            np.dot(self.values[valid], durations[valid]) / durations[valid].sum()
+        )
+
+    # -- transforms --------------------------------------------------------------
+
+    def slice(self, t_from_s: float, t_to_s: float) -> "TimeSeries":
+        """Sub-series with ``t_from_s <= t < t_to_s``."""
+        if t_to_s <= t_from_s:
+            raise SeriesShapeError("t_to_s must exceed t_from_s")
+        mask = (self.times_s >= t_from_s) & (self.times_s < t_to_s)
+        if not np.any(mask):
+            raise SeriesShapeError(
+                f"no samples in [{t_from_s}, {t_to_s}) for series {self.name!r}"
+            )
+        return TimeSeries(self.times_s[mask], self.values[mask], self.name)
+
+    def resample(self, interval_s: float) -> "TimeSeries":
+        """Regular resampling by previous-value hold onto a uniform grid.
+
+        NaN gaps propagate: a grid point whose most recent sample is NaN is
+        NaN. The grid starts at the first timestamp.
+        """
+        if interval_s <= 0:
+            raise SeriesShapeError("interval_s must be positive")
+        grid = np.arange(self.t_start_s, self.t_end_s + interval_s / 2, interval_s)
+        idx = np.searchsorted(self.times_s, grid, side="right") - 1
+        idx = np.clip(idx, 0, len(self) - 1)
+        return TimeSeries(grid, self.values[idx], self.name)
+
+    def rolling_mean(self, window_s: float) -> "TimeSeries":
+        """Centred rolling mean over a time window (NaN-skipping).
+
+        Implemented with cumulative sums over sample counts so it stays
+        O(n log n) even for irregular series.
+        """
+        if window_s <= 0:
+            raise SeriesShapeError("window_s must be positive")
+        half = window_s / 2.0
+        lo = np.searchsorted(self.times_s, self.times_s - half, side="left")
+        hi = np.searchsorted(self.times_s, self.times_s + half, side="right")
+        vals = np.nan_to_num(self.values, nan=0.0)
+        valid = (~np.isnan(self.values)).astype(float)
+        csum = np.concatenate([[0.0], np.cumsum(vals)])
+        ccnt = np.concatenate([[0.0], np.cumsum(valid)])
+        sums = csum[hi] - csum[lo]
+        counts = ccnt[hi] - ccnt[lo]
+        with np.errstate(invalid="ignore", divide="ignore"):
+            means = np.where(counts > 0, sums / counts, np.nan)
+        return TimeSeries(self.times_s, means, self.name)
+
+    def dropna(self) -> "TimeSeries":
+        """Series with NaN samples removed."""
+        mask = ~np.isnan(self.values)
+        if not np.any(mask):
+            raise SeriesShapeError(f"series {self.name!r} has no valid samples")
+        return TimeSeries(self.times_s[mask], self.values[mask], self.name)
+
+    def shift_values(self, offset: float) -> "TimeSeries":
+        """Series with a constant added to every value."""
+        return TimeSeries(self.times_s, self.values + offset, self.name)
+
+    def scale_values(self, factor: float) -> "TimeSeries":
+        """Series with every value multiplied by a constant (e.g. W→kW)."""
+        return TimeSeries(self.times_s, self.values * factor, self.name)
+
+    def __add__(self, other: "TimeSeries") -> "TimeSeries":
+        """Pointwise sum of two series sharing identical timestamps."""
+        if not isinstance(other, TimeSeries):
+            return NotImplemented
+        if len(self) != len(other) or not np.array_equal(self.times_s, other.times_s):
+            raise SeriesShapeError("can only add series with identical timestamps")
+        return TimeSeries(
+            self.times_s, self.values + other.values, self.name or other.name
+        )

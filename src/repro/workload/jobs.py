@@ -1,0 +1,114 @@
+"""Job and job-record types.
+
+A :class:`Job` is a scheduling request: an application, a node count and a
+reference runtime (wall time the job would take at the facility's reference
+operating point — 2.25 GHz+turbo, Power Determinism). The scheduler resolves
+it into a :class:`JobRecord` once placed, with actual runtime stretched by
+the roofline time ratio for the operating point the job ran at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..node.pstates import FrequencySetting
+from ..units import ensure_nonnegative, ensure_positive  # noqa: F401  (ensure_nonnegative used by JobRecord)
+from .applications import AppProfile
+
+__all__ = ["Job", "JobRecord"]
+
+
+@dataclass(frozen=True)
+class Job:
+    """A batch job request.
+
+    ``frequency_override`` is the user's explicit ``--cpu-freq`` choice; when
+    ``None`` the facility's default-frequency policy decides (§4.2: users
+    could revert the 2.0 GHz default for their jobs).
+    """
+
+    job_id: int
+    app: AppProfile
+    n_nodes: int
+    submit_time_s: float
+    reference_runtime_s: float
+    frequency_override: FrequencySetting | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_nodes <= 0:
+            raise ConfigurationError(f"job {self.job_id}: n_nodes must be positive")
+        # Negative submit times are legal: campaigns place their warm-up
+        # before the reporting window's t=0 origin.
+        if not np.isfinite(self.submit_time_s):
+            raise ConfigurationError(f"job {self.job_id}: submit_time_s must be finite")
+        ensure_positive(self.reference_runtime_s, f"job {self.job_id}: reference_runtime_s")
+
+    def runtime_at_s(self, effective_ghz: float) -> float:
+        """Wall time when executed at ``effective_ghz``, seconds."""
+        return self.reference_runtime_s * float(self.app.roofline.time_ratio(effective_ghz))
+
+    @property
+    def reference_node_seconds(self) -> float:
+        """Node-seconds at the reference operating point."""
+        return self.n_nodes * self.reference_runtime_s
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """A completed (placed) job with its realised schedule and power.
+
+    ``node_power_w`` is the per-node busy power for this job at the operating
+    point it ran at — the scheduler computes it once at job start from the
+    node power model and the app's execution profile.
+    """
+
+    job: Job
+    start_time_s: float
+    end_time_s: float
+    setting: FrequencySetting
+    effective_ghz: float
+    node_power_w: float
+
+    def __post_init__(self) -> None:
+        if self.end_time_s <= self.start_time_s:
+            raise ConfigurationError(
+                f"job {self.job.job_id}: end time must exceed start time"
+            )
+        if self.start_time_s < self.job.submit_time_s:
+            raise ConfigurationError(
+                f"job {self.job.job_id}: started before submission"
+            )
+        ensure_nonnegative(self.node_power_w, f"job {self.job.job_id}: node_power_w")
+
+    @property
+    def runtime_s(self) -> float:
+        """Realised wall time, seconds."""
+        return self.end_time_s - self.start_time_s
+
+    @property
+    def wait_s(self) -> float:
+        """Queue wait, seconds."""
+        return self.start_time_s - self.job.submit_time_s
+
+    @property
+    def node_seconds(self) -> float:
+        """Realised node-seconds (grows when a lower frequency stretches runtime)."""
+        return self.job.n_nodes * self.runtime_s
+
+    @property
+    def node_hours(self) -> float:
+        """Realised node-hours."""
+        return self.node_seconds / 3600.0
+
+    @property
+    def energy_j(self) -> float:
+        """Compute-node energy consumed by the job, joules."""
+        return self.node_power_w * self.node_seconds
+
+    @property
+    def energy_kwh(self) -> float:
+        """Compute-node energy consumed by the job, kWh."""
+        return self.energy_j / 3.6e6

@@ -1,0 +1,141 @@
+"""Strong-scaling model: node count, runtime and energy-to-solution.
+
+The paper's benchmarks run at fixed node counts (Table 3/4's "Nodes"
+column). Operators also choose *how many* nodes a job gets, and that choice
+has an energy dimension: more nodes finish faster (less static-energy
+accrual) but waste energy on communication and imperfect scaling. The
+classic model:
+
+``t(n) = t₁ · ( s + (1−s)/n + c·ln(n) )``
+
+with serial fraction ``s`` (Amdahl) and a logarithmic communication term
+``c`` (tree collectives). Energy per run is node-count × runtime × node
+power — and because overheads only grow with node count, energy is
+*monotone increasing* in nodes: running wide always buys time with kWh.
+The operational question is therefore constrained: the fewest nodes (least
+energy) that still meet a deadline, which
+:func:`nodes_for_deadline` answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..units import ensure_fraction, ensure_nonnegative, ensure_positive
+
+__all__ = ["StrongScalingModel", "ScalingPoint", "nodes_for_deadline", "tradeoff_curve"]
+
+
+@dataclass(frozen=True)
+class StrongScalingModel:
+    """Runtime vs node count for one application problem size."""
+
+    t1_s: float  # single-node runtime
+    serial_fraction: float = 0.02
+    comm_coefficient: float = 0.01
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.t1_s, "t1_s")
+        ensure_fraction(self.serial_fraction, "serial_fraction")
+        ensure_nonnegative(self.comm_coefficient, "comm_coefficient")
+
+    def runtime_s(self, n_nodes: int | np.ndarray) -> float | np.ndarray:
+        """Wall time on ``n_nodes``."""
+        n = np.asarray(n_nodes, dtype=float)
+        if np.any(n < 1):
+            raise ConfigurationError("n_nodes must be at least 1")
+        s = self.serial_fraction
+        t = self.t1_s * (s + (1.0 - s) / n + self.comm_coefficient * np.log(n))
+        return float(t) if t.ndim == 0 else t
+
+    def speedup(self, n_nodes: int | np.ndarray) -> float | np.ndarray:
+        """Speedup over one node."""
+        t = self.runtime_s(n_nodes)
+        return self.t1_s / t
+
+    def parallel_efficiency(self, n_nodes: int | np.ndarray) -> float | np.ndarray:
+        """Speedup per node (1 = perfect scaling)."""
+        n = np.asarray(n_nodes, dtype=float)
+        eff = self.speedup(n_nodes) / n
+        return float(eff) if np.ndim(eff) == 0 else eff
+
+    def energy_kwh(
+        self, n_nodes: int | np.ndarray, node_power_w: float
+    ) -> float | np.ndarray:
+        """Compute-node energy of one run on ``n_nodes``."""
+        ensure_positive(node_power_w, "node_power_w")
+        n = np.asarray(n_nodes, dtype=float)
+        e = n * node_power_w * self.runtime_s(n_nodes) / 3.6e6
+        return float(e) if e.ndim == 0 else e
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One candidate node count with its time/energy consequences."""
+
+    n_nodes: int
+    runtime_s: float
+    energy_kwh: float
+    parallel_efficiency: float
+
+
+def _power_of_two_candidates(max_nodes: int, min_nodes: int = 1) -> list[int]:
+    if max_nodes < 1 or min_nodes < 1 or min_nodes > max_nodes:
+        raise ConfigurationError("need 1 <= min_nodes <= max_nodes")
+    candidates = [min_nodes]
+    while candidates[-1] * 2 <= max_nodes:
+        candidates.append(candidates[-1] * 2)
+    return candidates
+
+
+def tradeoff_curve(
+    model: StrongScalingModel,
+    node_power_w: float,
+    max_nodes: int = 4096,
+    min_nodes: int = 1,
+) -> list[ScalingPoint]:
+    """Time/energy points over power-of-two node counts.
+
+    ``min_nodes`` encodes the memory-footprint floor: below it the problem
+    does not fit. The curve makes the §2 trade visible — every extra
+    doubling buys wall time at an energy premium set by the scaling
+    overheads.
+    """
+    ensure_positive(node_power_w, "node_power_w")
+    points = []
+    for n in _power_of_two_candidates(max_nodes, min_nodes):
+        points.append(
+            ScalingPoint(
+                n_nodes=n,
+                runtime_s=float(model.runtime_s(n)),
+                energy_kwh=float(model.energy_kwh(n, node_power_w)),
+                parallel_efficiency=float(model.parallel_efficiency(n)),
+            )
+        )
+    return points
+
+
+def nodes_for_deadline(
+    model: StrongScalingModel,
+    node_power_w: float,
+    deadline_s: float,
+    max_nodes: int = 4096,
+    min_nodes: int = 1,
+) -> ScalingPoint:
+    """The least-energy node count meeting a wall-time deadline.
+
+    Because energy grows with node count, the minimum-energy feasible point
+    is simply the *smallest* candidate whose runtime fits the deadline.
+    Raises :class:`ConfigurationError` when no candidate meets it (the
+    scaling curve may turn over before the deadline is reachable).
+    """
+    ensure_positive(deadline_s, "deadline_s")
+    for point in tradeoff_curve(model, node_power_w, max_nodes, min_nodes):
+        if point.runtime_s <= deadline_s:
+            return point
+    raise ConfigurationError(
+        f"no node count up to {max_nodes} meets the {deadline_s:.0f}s deadline"
+    )

@@ -1,0 +1,93 @@
+"""Autocorrelation diagnostic tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.autocorrelation import (
+    autocorrelation_function,
+    integrated_autocorrelation_time,
+    summarise_autocorrelation,
+)
+from repro.errors import AnalysisError
+from repro.telemetry.series import TimeSeries
+
+
+def ar1(n, rho, rng, step=900.0):
+    noise = np.empty(n)
+    state = 0.0
+    for i in range(n):
+        state = rho * state + np.sqrt(1 - rho**2) * rng.normal()
+        noise[i] = state
+    return TimeSeries(step * np.arange(n), 100.0 + noise)
+
+
+class TestAcf:
+    def test_lag0_is_one(self, rng):
+        acf = autocorrelation_function(ar1(500, 0.8, rng), 20)
+        assert acf[0] == pytest.approx(1.0)
+
+    def test_ar1_lag1_matches_rho(self, rng):
+        acf = autocorrelation_function(ar1(20_000, 0.7, rng), 5)
+        assert acf[1] == pytest.approx(0.7, abs=0.05)
+
+    def test_white_noise_decorrelated(self, rng):
+        acf = autocorrelation_function(ar1(20_000, 0.0, rng), 5)
+        assert abs(acf[1]) < 0.05
+
+    def test_constant_series_zero_acf(self):
+        series = TimeSeries(np.arange(50.0), np.full(50, 7.0))
+        acf = autocorrelation_function(series, 5)
+        assert acf[0] == 1.0
+        np.testing.assert_allclose(acf[1:], 0.0)
+
+    def test_bad_lag_rejected(self, rng):
+        with pytest.raises(AnalysisError):
+            autocorrelation_function(ar1(100, 0.5, rng), 100)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(AnalysisError):
+            autocorrelation_function(TimeSeries(np.arange(3.0), np.arange(3.0)), 1)
+
+
+class TestIntegratedTime:
+    def test_white_noise_tau_near_one(self, rng):
+        tau = integrated_autocorrelation_time(ar1(20_000, 0.0, rng))
+        assert tau == pytest.approx(1.0, abs=0.3)
+
+    def test_ar1_tau_matches_theory(self, rng):
+        """For AR(1), τ = (1+ρ)/(1−ρ): ρ=0.8 → 9."""
+        tau = integrated_autocorrelation_time(ar1(50_000, 0.8, rng))
+        assert tau == pytest.approx(9.0, rel=0.25)
+
+    def test_more_correlation_more_tau(self, rng):
+        low = integrated_autocorrelation_time(ar1(20_000, 0.3, np.random.default_rng(1)))
+        high = integrated_autocorrelation_time(ar1(20_000, 0.9, np.random.default_rng(1)))
+        assert high > low
+
+
+class TestSummarise:
+    def test_summary_consistency(self, rng):
+        series = ar1(5000, 0.8, rng)
+        summary = summarise_autocorrelation(series)
+        assert summary.n_samples == 5000
+        assert summary.effective_samples == pytest.approx(
+            5000 / summary.tau_samples
+        )
+        assert summary.tau_seconds == pytest.approx(summary.tau_samples * 900.0)
+        assert 2 <= summary.recommended_block <= 5000 // 4
+
+    def test_campaign_telemetry_is_correlated(self, baseline_campaign):
+        """Real (simulated) facility power has hours-scale memory — the
+        motivation for the block bootstrap."""
+        summary = summarise_autocorrelation(baseline_campaign.measured_kw)
+        assert summary.tau_samples > 3.0
+        assert summary.tau_seconds > 3600.0
+
+    def test_block_feeds_bootstrap(self, rng):
+        """The recommended block is valid input for the bootstrap."""
+        from repro.analysis.bootstrap import block_bootstrap_mean
+
+        series = ar1(2000, 0.9, rng)
+        summary = summarise_autocorrelation(series)
+        interval = block_bootstrap_mean(series, rng, block=summary.recommended_block)
+        assert interval.contains(100.0)

@@ -1,0 +1,87 @@
+"""Moving-block bootstrap tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bootstrap import block_bootstrap_mean, bootstrap_impact_delta
+from repro.errors import AnalysisError
+from repro.telemetry.series import TimeSeries
+
+
+def ar1_series(n, mean, sigma, rho, rng, step=900.0):
+    """AR(1) noise around a mean — the texture of real power telemetry."""
+    noise = np.empty(n)
+    state = 0.0
+    for i in range(n):
+        state = rho * state + np.sqrt(1 - rho**2) * rng.normal()
+        noise[i] = state
+    return TimeSeries(step * np.arange(n), mean + sigma * noise)
+
+
+class TestBlockBootstrapMean:
+    def test_interval_contains_truth(self, rng):
+        series = ar1_series(2000, 3220.0, 50.0, 0.9, rng)
+        interval = block_bootstrap_mean(series, rng, block=50)
+        assert interval.contains(3220.0)
+        assert interval.lower < interval.estimate < interval.upper
+
+    def test_wider_than_naive_for_correlated_data(self, rng):
+        """The whole point: autocorrelation inflates the real uncertainty."""
+        series = ar1_series(2000, 3220.0, 50.0, 0.95, rng)
+        interval = block_bootstrap_mean(series, rng, block=100)
+        naive_se = series.std() / np.sqrt(len(series))
+        assert interval.half_width > 1.5 * naive_se
+
+    def test_iid_data_close_to_naive(self, rng):
+        series = ar1_series(2000, 100.0, 10.0, 0.0, rng)
+        interval = block_bootstrap_mean(series, rng, block=2)
+        naive_hw = 1.96 * series.std() / np.sqrt(len(series))
+        assert interval.half_width == pytest.approx(naive_hw, rel=0.3)
+
+    def test_nan_samples_skipped(self, rng):
+        values = np.full(100, 50.0)
+        values[::7] = np.nan
+        series = TimeSeries(np.arange(100.0), values)
+        interval = block_bootstrap_mean(series, rng)
+        assert interval.estimate == pytest.approx(50.0)
+
+    def test_validation(self, rng):
+        series = ar1_series(100, 1.0, 0.1, 0.5, rng)
+        with pytest.raises(AnalysisError):
+            block_bootstrap_mean(series, rng, n_resamples=10)
+        with pytest.raises(AnalysisError):
+            block_bootstrap_mean(series, rng, confidence=1.5)
+        with pytest.raises(AnalysisError):
+            block_bootstrap_mean(series, rng, block=101)
+
+    def test_too_few_samples(self, rng):
+        series = TimeSeries(np.arange(4.0), np.ones(4))
+        with pytest.raises(AnalysisError):
+            block_bootstrap_mean(series, rng)
+
+
+class TestBootstrapImpactDelta:
+    def make_step(self, rng, delta=210.0, sigma=40.0, n=2000):
+        times = 900.0 * np.arange(n)
+        values = np.where(np.arange(n) < n // 2, 3220.0, 3220.0 - delta)
+        values = values + rng.normal(0, sigma, n)
+        return TimeSeries(times, values), times[n // 2]
+
+    def test_real_step_resolved(self, rng):
+        """Figure 2's 210 kW step must be significant above 40 kW noise."""
+        series, change = self.make_step(rng)
+        interval = bootstrap_impact_delta(series, change, rng)
+        assert interval.contains(210.0)
+        assert interval.lower > 0.0  # significant saving
+
+    def test_null_step_not_resolved(self, rng):
+        series, change = self.make_step(rng, delta=0.0)
+        interval = bootstrap_impact_delta(series, change, rng)
+        assert interval.contains(0.0)
+
+    def test_settle_window_respected(self, rng):
+        series, change = self.make_step(rng)
+        with_settle = bootstrap_impact_delta(
+            series, change, rng, settle_s=5 * 900.0
+        )
+        assert with_settle.contains(210.0)

@@ -1,0 +1,129 @@
+"""Change-point detection tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.changepoint import (
+    binary_segmentation,
+    cusum_statistic,
+    detect_single,
+    segment_means,
+)
+from repro.errors import AnalysisError
+from repro.telemetry.series import TimeSeries
+
+
+def step_series(n=1000, split=600, before=3220.0, after=2530.0, noise=0.0, rng=None):
+    times = 900.0 * np.arange(n)
+    values = np.where(np.arange(n) < split, before, after)
+    if noise and rng is not None:
+        values = values + rng.normal(0, noise, n)
+    return TimeSeries(times, values.astype(float), "step")
+
+
+class TestDetectSingle:
+    def test_clean_step_located_exactly(self):
+        series = step_series()
+        cp = detect_single(series)
+        assert cp.index == 600
+        assert cp.mean_before == pytest.approx(3220.0)
+        assert cp.mean_after == pytest.approx(2530.0)
+        assert cp.delta == pytest.approx(-690.0)
+        assert cp.relative_change == pytest.approx(-690.0 / 3220.0)
+
+    def test_noisy_step_located_approximately(self, rng):
+        series = step_series(noise=50.0, rng=rng)
+        cp = detect_single(series)
+        assert abs(cp.index - 600) < 10
+
+    def test_realistic_noise_level(self, rng):
+        """Figure 2's step (~210 kW) against realistic telemetry noise."""
+        series = step_series(before=3220.0, after=3010.0, noise=80.0, rng=rng)
+        cp = detect_single(series)
+        assert abs(cp.index - 600) < 30
+        assert cp.mean_before - cp.mean_after == pytest.approx(210.0, abs=30.0)
+
+    def test_significance_high_for_step(self):
+        assert detect_single(step_series()).significance > 5.0
+
+    def test_significance_low_without_change(self, rng):
+        times = 900.0 * np.arange(1000)
+        flat = TimeSeries(times, 3220.0 + rng.normal(0, 30, 1000))
+        cp = detect_single(flat)
+        assert cp.significance < 2.5
+
+    def test_nan_samples_skipped(self):
+        series = step_series()
+        values = series.values.copy()
+        values[::50] = np.nan
+        cp = detect_single(TimeSeries(series.times_s, values))
+        assert cp.mean_before == pytest.approx(3220.0)
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(AnalysisError):
+            detect_single(TimeSeries(np.arange(3.0), np.arange(3.0)))
+
+
+class TestCusum:
+    def test_zero_for_constant(self):
+        times = np.arange(100.0)
+        series = TimeSeries(times, np.full(100, 5.0))
+        np.testing.assert_allclose(cusum_statistic(series), 0.0)
+
+    def test_peak_at_change(self):
+        curve = cusum_statistic(step_series())
+        assert abs(int(np.argmax(np.abs(curve))) - 600) < 3
+
+
+class TestBinarySegmentation:
+    def test_two_steps_found(self, rng):
+        """The C1 scenario: baseline → post-BIOS → post-frequency."""
+        n = 1500
+        times = 900.0 * np.arange(n)
+        values = np.full(n, 3220.0)
+        values[500:1000] = 3010.0
+        values[1000:] = 2530.0
+        values += rng.normal(0, 40, n)
+        changes = binary_segmentation(TimeSeries(times, values))
+        assert len(changes) == 2
+        assert abs(changes[0].index - 500) < 20
+        assert abs(changes[1].index - 1000) < 20
+
+    def test_no_changes_in_flat_series(self, rng):
+        times = 900.0 * np.arange(800)
+        flat = TimeSeries(times, 3000.0 + rng.normal(0, 50, 800))
+        assert binary_segmentation(flat) == []
+
+    def test_max_changes_respected(self, rng):
+        n = 1200
+        times = 900.0 * np.arange(n)
+        values = 3000.0 + 200.0 * (np.arange(n) // 100 % 2) + rng.normal(0, 10, n)
+        changes = binary_segmentation(TimeSeries(times, values), max_changes=3)
+        assert len(changes) <= 3
+
+    def test_results_time_ordered(self, rng):
+        n = 1500
+        times = 900.0 * np.arange(n)
+        values = np.full(n, 3220.0)
+        values[500:1000] = 3010.0
+        values[1000:] = 2530.0
+        changes = binary_segmentation(TimeSeries(times, values + rng.normal(0, 30, n)))
+        assert [c.time_s for c in changes] == sorted(c.time_s for c in changes)
+
+
+class TestSegmentMeans:
+    def test_known_change_times(self):
+        n = 1500
+        times = 900.0 * np.arange(n)
+        values = np.full(n, 3220.0)
+        values[500:1000] = 3010.0
+        values[1000:] = 2530.0
+        means = segment_means(
+            TimeSeries(times, values), [times[500], times[1000]]
+        )
+        assert means == pytest.approx([3220.0, 3010.0, 2530.0])
+
+    def test_empty_segment_rejected(self):
+        series = step_series(n=100, split=50)
+        with pytest.raises(AnalysisError):
+            segment_means(series, [-100.0])

@@ -1,0 +1,85 @@
+"""Carbon-aware load-shifting tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.carbon_aware import optimal_shift_savings
+from repro.errors import ConfigurationError
+from repro.telemetry.series import TimeSeries
+
+
+def day_series(n_days=4, step_s=3600.0, power_kw=3000.0, ci_amplitude=0.3):
+    """Flat power against a sinusoidal daily CI cycle."""
+    times = np.arange(0.0, n_days * 86_400.0, step_s)
+    hours = (times % 86_400.0) / 3600.0
+    ci = 200.0 * (1.0 + ci_amplitude * np.cos(2 * np.pi * (hours - 19.0) / 24.0))
+    return (
+        TimeSeries(times, np.full(len(times), power_kw)),
+        TimeSeries(times, ci),
+    )
+
+
+class TestOptimalShift:
+    def test_zero_flexibility_is_noop(self):
+        power, ci = day_series()
+        outcome = optimal_shift_savings(power, ci, flexible_fraction=0.0)
+        assert outcome.saving_tco2e == pytest.approx(0.0, abs=1e-9)
+
+    def test_savings_grow_with_flexibility(self):
+        power, ci = day_series()
+        savings = [
+            optimal_shift_savings(power, ci, f).relative_saving
+            for f in (0.1, 0.3, 0.5)
+        ]
+        assert savings[0] < savings[1] < savings[2]
+        assert all(s > 0 for s in savings)
+
+    def test_flat_ci_nothing_to_gain(self):
+        power, _ = day_series()
+        flat_ci = TimeSeries(power.times_s, np.full(len(power), 200.0))
+        outcome = optimal_shift_savings(power, flat_ci, flexible_fraction=0.5)
+        assert outcome.saving_tco2e == pytest.approx(0.0, abs=1e-9)
+
+    def test_energy_conserved(self):
+        """Shifting defers, never deletes: with CI ≡ 1 the 'emissions' equal
+        the energy and must be identical before and after."""
+        power, _ = day_series()
+        unit_ci = TimeSeries(power.times_s, np.ones(len(power)))
+        outcome = optimal_shift_savings(power, unit_ci, flexible_fraction=0.4)
+        assert outcome.shifted_tco2e == pytest.approx(outcome.baseline_tco2e, rel=1e-9)
+
+    def test_saving_bounded_by_ci_swing(self):
+        """Relative saving cannot exceed flexibility × relative CI swing."""
+        power, ci = day_series(ci_amplitude=0.3)
+        outcome = optimal_shift_savings(power, ci, flexible_fraction=0.3)
+        assert outcome.relative_saving < 0.3 * 0.6  # f × (peak-to-trough)/mean
+
+    def test_larger_window_saves_at_least_daily(self):
+        power, ci = day_series(n_days=6)
+        daily = optimal_shift_savings(power, ci, 0.3, window_s=86_400.0)
+        weekly = optimal_shift_savings(power, ci, 0.3, window_s=3 * 86_400.0)
+        assert weekly.saving_tco2e >= daily.saving_tco2e - 1e-9
+
+    def test_misaligned_series_rejected(self):
+        power, ci = day_series()
+        other = TimeSeries(power.times_s + 1.0, ci.values)
+        with pytest.raises(ConfigurationError):
+            optimal_shift_savings(power, other, 0.3)
+
+    def test_bad_window_rejected(self):
+        power, ci = day_series()
+        with pytest.raises(ConfigurationError):
+            optimal_shift_savings(power, ci, 0.3, window_s=0.0)
+
+    def test_realistic_grid_savings_meaningful(self, rng):
+        """Against a UK-shaped CI series, 30 % flexibility is worth several
+        percent of scope 2 — worth having, far less than the §4 frequency
+        lever, which is the correct qualitative conclusion."""
+        from repro.grid.carbon_intensity import CarbonIntensityModel
+
+        ci = CarbonIntensityModel(mean_ci_g_per_kwh=190.0).series(
+            0.0, 14 * 86_400.0, 3600.0, rng
+        )
+        power = TimeSeries(ci.times_s, np.full(len(ci), 3000.0))
+        outcome = optimal_shift_savings(power, ci, flexible_fraction=0.3)
+        assert 0.01 < outcome.relative_saving < 0.15

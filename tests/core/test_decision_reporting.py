@@ -1,0 +1,119 @@
+"""Decision engine and reporting tests."""
+
+import pytest
+
+from repro.core.decision import (
+    ARCHER2_WINTER_2022,
+    DecisionEngine,
+    Priorities,
+)
+from repro.core.efficiency import BASELINE_CONFIG
+from repro.core.emissions import EmbodiedProfile, EmissionsModel
+from repro.core.reporting import format_kw, format_ratio, render_table, series_to_csv
+from repro.errors import ConfigurationError
+from repro.node.determinism import DeterminismMode
+from repro.node.pstates import FrequencySetting
+
+
+@pytest.fixture(scope="module")
+def engine(node_model, mix):
+    emissions = EmissionsModel(embodied=EmbodiedProfile(), mean_power_kw=3500.0)
+    return DecisionEngine(
+        mix=mix,
+        node_model=node_model,
+        emissions_model=emissions,
+        ci_g_per_kwh=190.0,  # UK winter 2022 context
+    )
+
+
+class TestDecisionEngine:
+    def test_candidates_cover_grid(self, engine):
+        candidates = engine.candidates()
+        assert len(candidates) == 6  # 3 settings × 2 modes
+
+    def test_archer2_priorities_pick_paper_configuration(self, engine):
+        """The paper's declared priorities must reproduce the paper's choice:
+        Performance Determinism at the 2.0 GHz default."""
+        best = engine.recommend(ARCHER2_WINTER_2022)
+        assert best.config.setting is FrequencySetting.GHZ_2_0
+        assert best.config.mode is DeterminismMode.PERFORMANCE
+
+    def test_pure_performance_priorities_keep_turbo(self, engine):
+        perf_first = Priorities(
+            energy_efficiency=0.0,
+            emissions_efficiency=0.0,
+            cost=0.0,
+            performance=1.0,
+        )
+        best = engine.recommend(perf_first)
+        assert best.config.setting is FrequencySetting.GHZ_2_25_TURBO
+
+    def test_performance_floor_excludes_1_5ghz(self, engine):
+        floored = Priorities(
+            energy_efficiency=10.0, performance=0.1, min_performance_ratio=0.85
+        )
+        best = engine.recommend(floored)
+        assert best.config.setting is not FrequencySetting.GHZ_1_5
+        # Without the floor, aggressive energy weighting drops to 1.5 GHz.
+        unfloored = Priorities(
+            energy_efficiency=10.0, performance=0.1, min_performance_ratio=0.0
+        )
+        assert (
+            engine.recommend(unfloored).config.setting is FrequencySetting.GHZ_1_5
+        )
+
+    def test_ranking_sorted(self, engine):
+        ranking = engine.ranking(ARCHER2_WINTER_2022)
+        scores = [r.score for r in ranking]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_baseline_scores_unity_ratios(self, engine):
+        score = engine.score(BASELINE_CONFIG, ARCHER2_WINTER_2022)
+        assert score.mean_perf_ratio == pytest.approx(1.0)
+        assert score.mean_energy_ratio == pytest.approx(1.0)
+
+    def test_impossible_floor_raises(self, engine):
+        with pytest.raises(ConfigurationError):
+            engine.recommend(Priorities(min_performance_ratio=1.0 + 1e-12))
+
+    def test_bad_weights_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Priorities(energy_efficiency=-1.0)
+        with pytest.raises(ConfigurationError):
+            Priorities(
+                energy_efficiency=0.0, emissions_efficiency=0.0, cost=0.0, performance=0.0
+            )
+
+
+class TestReporting:
+    def test_format_helpers(self):
+        assert format_ratio(0.934) == "0.93"
+        assert format_ratio(None) == "-"
+        assert format_kw(3219.6) == "3,220"
+
+    def test_render_table_structure(self):
+        table = render_table(["a", "bb"], [["1", "2"], ["333", "4"]], title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert lines[2].startswith("| a")
+        assert all(len(line) == len(lines[1]) for line in lines[1:])
+
+    def test_render_table_cell_count_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_render_table_needs_columns(self):
+        with pytest.raises(ConfigurationError):
+            render_table([], [])
+
+    def test_series_to_csv(self, tmp_path):
+        import numpy as np
+
+        from repro.telemetry.series import TimeSeries
+
+        series = TimeSeries(np.array([0.0, 900.0]), np.array([3220.0, 3210.0]))
+        path = tmp_path / "fig1.csv"
+        series_to_csv(series, path)
+        content = path.read_text().splitlines()
+        assert content[0] == "time_s,value_kw"
+        assert len(content) == 3

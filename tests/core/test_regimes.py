@@ -1,0 +1,88 @@
+"""Regime classification tests (paper §2)."""
+
+import pytest
+
+from repro.core.emissions import EmbodiedProfile, EmissionsModel
+from repro.core.regimes import (
+    OptimisationTarget,
+    PAPER_HIGH_CI,
+    PAPER_LOW_CI,
+    Regime,
+    advice,
+    classify_ci,
+    derive_band,
+)
+from repro.errors import ConfigurationError
+
+
+class TestPaperClassifier:
+    def test_low_ci_scope3_dominated(self):
+        assert classify_ci(10.0) is Regime.SCOPE3_DOMINATED
+
+    def test_boundary_30_is_balanced(self):
+        assert classify_ci(30.0) is Regime.BALANCED
+
+    def test_mid_band_balanced(self):
+        assert classify_ci(65.0) is Regime.BALANCED
+
+    def test_boundary_100_is_balanced(self):
+        assert classify_ci(100.0) is Regime.BALANCED
+
+    def test_high_ci_scope2_dominated(self):
+        assert classify_ci(190.0) is Regime.SCOPE2_DOMINATED
+
+    def test_negative_ci_rejected(self):
+        with pytest.raises(ConfigurationError):
+            classify_ci(-1.0)
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            classify_ci(50.0, low=100.0, high=30.0)
+
+
+class TestAdvice:
+    def test_paper_rules(self):
+        assert advice(Regime.SCOPE3_DOMINATED) is OptimisationTarget.MAXIMISE_PERFORMANCE
+        assert advice(Regime.BALANCED) is OptimisationTarget.BALANCE
+        assert (
+            advice(Regime.SCOPE2_DOMINATED)
+            is OptimisationTarget.MAXIMISE_ENERGY_EFFICIENCY
+        )
+
+
+class TestDerivedBand:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return EmissionsModel(embodied=EmbodiedProfile(), mean_power_kw=3500.0)
+
+    def test_band_brackets_paper_boundaries(self, model):
+        """Headline result: the [30, 100] band emerges from the model."""
+        band = derive_band(model)
+        assert band.brackets_paper_band()
+
+    def test_band_centred_on_crossover(self, model):
+        band = derive_band(model, dominance_factor=2.0)
+        assert band.low_ci_g_per_kwh == pytest.approx(band.crossover_ci_g_per_kwh / 2)
+        assert band.high_ci_g_per_kwh == pytest.approx(band.crossover_ci_g_per_kwh * 2)
+
+    def test_band_classification_consistent(self, model):
+        band = derive_band(model)
+        assert band.classify(band.crossover_ci_g_per_kwh) is Regime.BALANCED
+        assert band.classify(band.low_ci_g_per_kwh / 2) is Regime.SCOPE3_DOMINATED
+        assert band.classify(band.high_ci_g_per_kwh * 2) is Regime.SCOPE2_DOMINATED
+
+    def test_dominance_factor_below_one_rejected(self, model):
+        with pytest.raises(ConfigurationError):
+            derive_band(model, dominance_factor=0.5)
+
+    def test_uk_2022_ci_is_scope2_dominated(self, model):
+        """The paper's operational context: UK grid ~190 g/kWh → optimise
+        energy efficiency, which is exactly what ARCHER2 did."""
+        band = derive_band(model)
+        regime = band.classify(190.0)
+        assert regime is Regime.SCOPE2_DOMINATED
+        assert advice(regime) is OptimisationTarget.MAXIMISE_ENERGY_EFFICIENCY
+
+    def test_paper_constants(self):
+        assert PAPER_LOW_CI == 30.0
+        assert PAPER_HIGH_CI == 100.0

@@ -1,0 +1,134 @@
+"""AI-surrogate scenario tests (paper future work)."""
+
+import pytest
+
+from repro.core.surrogate import SurrogateScenario, evaluate_surrogate
+from repro.errors import ConfigurationError
+from repro.node.determinism import DeterminismMode
+from repro.node.pstates import FrequencySetting
+from repro.workload.applications import paper_frequency_benchmarks, synthetic_archetypes
+
+
+@pytest.fixture(scope="module")
+def climate():
+    return synthetic_archetypes()["Climate/Ocean archetype"]
+
+
+class TestScenarioValidation:
+    def test_speedup_below_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SurrogateScenario(replaced_fraction=0.5, surrogate_speedup=0.5)
+
+    def test_fraction_bounds(self):
+        with pytest.raises(Exception):
+            SurrogateScenario(replaced_fraction=1.5, surrogate_speedup=10.0)
+
+    def test_negative_training_energy_rejected(self):
+        with pytest.raises(Exception):
+            SurrogateScenario(
+                replaced_fraction=0.5, surrogate_speedup=10.0, training_energy_kwh=-1.0
+            )
+
+
+class TestEvaluateSurrogate:
+    def test_null_scenario_is_identity(self, node_model, climate):
+        outcome = evaluate_surrogate(
+            climate,
+            SurrogateScenario(replaced_fraction=0.0, surrogate_speedup=10.0),
+            node_model,
+        )
+        assert outcome.time_ratio == pytest.approx(1.0)
+        assert outcome.energy_ratio == pytest.approx(1.0)
+        assert outcome.per_run_saving_kwh == pytest.approx(0.0, abs=1e-9)
+        assert outcome.breakeven_runs == 0.0
+
+    def test_fast_surrogate_saves_time_and_energy(self, node_model, climate):
+        outcome = evaluate_surrogate(
+            climate,
+            SurrogateScenario(replaced_fraction=0.5, surrogate_speedup=10.0),
+            node_model,
+        )
+        assert outcome.time_ratio < 0.6
+        assert outcome.energy_ratio < 0.7
+        assert outcome.per_run_saving_kwh > 0
+
+    def test_larger_replacement_saves_more(self, node_model, climate):
+        small = evaluate_surrogate(
+            climate,
+            SurrogateScenario(replaced_fraction=0.2, surrogate_speedup=10.0),
+            node_model,
+        )
+        large = evaluate_surrogate(
+            climate,
+            SurrogateScenario(replaced_fraction=0.6, surrogate_speedup=10.0),
+            node_model,
+        )
+        assert large.time_ratio < small.time_ratio
+        assert large.energy_ratio < small.energy_ratio
+
+    def test_breakeven_scales_with_training_cost(self, node_model, climate):
+        cheap = evaluate_surrogate(
+            climate,
+            SurrogateScenario(
+                replaced_fraction=0.5, surrogate_speedup=10.0, training_energy_kwh=100.0
+            ),
+            node_model,
+        )
+        pricey = evaluate_surrogate(
+            climate,
+            SurrogateScenario(
+                replaced_fraction=0.5, surrogate_speedup=10.0, training_energy_kwh=1000.0
+            ),
+            node_model,
+        )
+        assert pricey.breakeven_runs == pytest.approx(10 * cheap.breakeven_runs)
+
+    def test_marginal_surrogate_never_breaks_even(self, node_model, climate):
+        """A surrogate that is barely faster but much more power-hungry per
+        second (compute bound) can lose on energy — breakeven must be inf."""
+        outcome = evaluate_surrogate(
+            climate,
+            SurrogateScenario(
+                replaced_fraction=0.9,
+                surrogate_speedup=1.0,
+                surrogate_compute_fraction=1.0,
+                training_energy_kwh=10.0,
+            ),
+            node_model,
+        )
+        assert outcome.energy_ratio > 1.0
+        assert outcome.breakeven_runs == float("inf")
+
+    def test_perf_ratio_inverse_of_time(self, node_model, climate):
+        outcome = evaluate_surrogate(
+            climate,
+            SurrogateScenario(replaced_fraction=0.3, surrogate_speedup=5.0),
+            node_model,
+        )
+        assert outcome.perf_ratio == pytest.approx(1.0 / outcome.time_ratio)
+
+    def test_operating_point_matters(self, node_model):
+        """At 2.0 GHz the compute-bound surrogate phase is slower relative
+        to the memory-bound physics phase, so the hybrid gains differ."""
+        app = paper_frequency_benchmarks()["VASP CdTe"]
+        scenario = SurrogateScenario(replaced_fraction=0.5, surrogate_speedup=8.0)
+        turbo = evaluate_surrogate(
+            app, scenario, node_model, setting=FrequencySetting.GHZ_2_25_TURBO
+        )
+        capped = evaluate_surrogate(
+            app,
+            scenario,
+            node_model,
+            setting=FrequencySetting.GHZ_2_0,
+            mode=DeterminismMode.PERFORMANCE,
+        )
+        assert turbo.time_ratio != pytest.approx(capped.time_ratio)
+
+    def test_bad_nodes_rejected(self, node_model, climate):
+        with pytest.raises(ConfigurationError):
+            evaluate_surrogate(
+                climate,
+                SurrogateScenario(replaced_fraction=0.5, surrogate_speedup=10.0),
+                node_model,
+                n_nodes=0,
+            )

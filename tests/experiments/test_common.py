@@ -1,0 +1,71 @@
+"""Experiment scaffolding tests."""
+
+import pytest
+
+from repro.experiments.common import (
+    CHRISTMAS_WINDOW_S,
+    ExperimentResult,
+    baseline_operating_state,
+    figure_campaign_config,
+    post_bios_operating_state,
+)
+from repro.core.interventions import InterventionSchedule
+from repro.node.determinism import DeterminismMode
+from repro.node.pstates import FrequencySetting
+from repro.units import SECONDS_PER_DAY
+
+
+class TestExperimentResult:
+    def test_str_without_headline(self):
+        result = ExperimentResult(experiment_id="X1", title="t", table="| a |")
+        text = str(result)
+        assert "[X1] t" in text
+        assert "headline" not in text
+
+    def test_str_with_headline(self):
+        result = ExperimentResult(
+            experiment_id="X1", title="t", table="| a |", headline={"v": 1.234}
+        )
+        assert "v = 1.234" in str(result)
+
+
+class TestOperatingStates:
+    def test_baseline_is_power_determinism_turbo(self):
+        state = baseline_operating_state()
+        assert state.mode is DeterminismMode.POWER
+        assert state.policy.default_setting is FrequencySetting.GHZ_2_25_TURBO
+        assert state.policy.curated_apps is not None
+
+    def test_post_bios_keeps_default_frequency(self):
+        state = post_bios_operating_state()
+        assert state.mode is DeterminismMode.PERFORMANCE
+        assert state.policy.default_setting is FrequencySetting.GHZ_2_25_TURBO
+
+
+class TestFigureCampaignConfig:
+    def test_defaults(self):
+        schedule = InterventionSchedule(baseline_operating_state())
+        config = figure_campaign_config(10 * SECONDS_PER_DAY, schedule, seed=1)
+        assert config.stream is None  # defaults from inventory
+        assert config.seed == 1
+
+    def test_holidays_threaded_into_stream(self):
+        schedule = InterventionSchedule(baseline_operating_state())
+        config = figure_campaign_config(
+            40 * SECONDS_PER_DAY, schedule, seed=1, holidays=(CHRISTMAS_WINDOW_S,)
+        )
+        assert config.stream is not None
+        assert config.stream.holiday_windows_s == (CHRISTMAS_WINDOW_S,)
+        assert config.stream.n_facility_nodes == config.inventory.n_nodes
+
+    def test_christmas_window_inside_fig1_span(self):
+        start, end = CHRISTMAS_WINDOW_S
+        assert 0 < start < end < 150 * SECONDS_PER_DAY
+
+
+class TestInterventionBase:
+    def test_base_apply_not_implemented(self):
+        from repro.core.interventions import Intervention, OperatingState
+
+        with pytest.raises(NotImplementedError):
+            Intervention(time_s=0.0).apply(OperatingState())

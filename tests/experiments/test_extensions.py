@@ -1,0 +1,79 @@
+"""Extension experiment tests (E1–E5, the paper's future-work directions)."""
+
+import pytest
+
+from repro.experiments.extensions import run_e1, run_e2, run_e3, run_e4, run_e5
+
+
+class TestE1DemandResponse:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_e1(n_nodes=256, days=3.0, seed=51)
+
+    def test_shed_is_real_and_bounded(self, result):
+        """Frequency modulation sheds 5-30 % of busy power in the window."""
+        assert 0.03 < result.headline["shed_depth"] < 0.35
+
+    def test_latency_on_job_scale(self, result):
+        assert 3.0 < result.headline["latency_h"] < 12.0
+
+
+class TestE2Toolchain:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_e2()
+
+    def test_vectorising_never_adds_resets(self, result):
+        assert (
+            result.headline["vector_resets"] <= result.headline["baseline_resets"]
+        )
+
+    def test_baseline_resets_match_table4(self, result):
+        """With the calibration toolchain, exactly LAMMPS, GROMACS and
+        Nektar++ exceed the 10 % threshold."""
+        assert result.headline["baseline_resets"] == 3.0
+
+
+class TestE3Surrogate:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_e3()
+
+    def test_all_scenarios_save_energy(self, result):
+        for key in ("conservative", "moderate", "aggressive"):
+            assert result.headline[f"{key}_energy_ratio"] < 1.0
+
+    def test_aggressive_saves_most_per_run(self, result):
+        assert (
+            result.headline["aggressive_energy_ratio"]
+            < result.headline["conservative_energy_ratio"]
+        )
+
+    def test_breakeven_finite(self, result):
+        for key in ("conservative", "moderate", "aggressive"):
+            assert result.headline[f"{key}_breakeven"] < float("inf")
+
+
+class TestE4CarbonAware:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_e4()
+
+    def test_savings_monotone_in_flexibility(self, result):
+        h = result.headline
+        assert h["saving_at_10pct"] < h["saving_at_30pct"] < h["saving_at_50pct"]
+
+    def test_savings_smaller_than_frequency_lever(self, result):
+        """The qualitative conclusion: shifting saves a few percent of
+        scope 2 — real, but smaller than the paper's ~15 % frequency lever."""
+        assert result.headline["saving_at_30pct"] < 0.15
+
+
+class TestE5Thermal:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_e5()
+
+    def test_optimum_is_warm_water_free_cooling(self, result):
+        assert result.headline["optimum_is_free_cooling"] == 1.0
+        assert 24.0 <= result.headline["optimal_coolant_c"] <= 34.0

@@ -1,0 +1,96 @@
+"""ARCHER2 preset tests: the inventory must reproduce Tables 1 and 2."""
+
+import pytest
+
+from repro.facility.archer2 import (
+    archer2_inventory,
+    archer2_node_spec,
+    scaled_inventory,
+)
+from repro.facility.hardware import ComponentKind
+
+
+class TestTable1:
+    def test_node_count(self, inventory):
+        assert inventory.n_nodes == 5860
+
+    def test_core_count_is_published_value(self, inventory):
+        assert inventory.n_cores == 750_080
+
+    def test_switch_count(self, inventory):
+        assert inventory.n_switches == 768
+
+    def test_cabinet_count(self, inventory):
+        assert inventory.n_cabinets == 23
+
+    def test_five_filesystems(self, inventory):
+        assert inventory.count_of_kind(ComponentKind.FILESYSTEM) == 5
+
+    def test_six_cdus(self, inventory):
+        assert inventory.count_of_kind(ComponentKind.CDU) == 6
+
+    def test_node_spec_shape(self):
+        node = archer2_node_spec()
+        assert node.sockets == 2
+        assert node.cores_per_socket == 64
+        assert node.base_frequency_ghz == 2.25
+        assert node.nic_ports == 2
+
+
+class TestTable2:
+    def test_total_idle_near_1800_kw(self, inventory):
+        assert inventory.idle_power_w() / 1e3 == pytest.approx(1800.0, rel=0.02)
+
+    def test_total_loaded_near_3500_kw(self, inventory):
+        assert inventory.loaded_power_w() / 1e3 == pytest.approx(3500.0, rel=0.02)
+
+    def test_node_share_near_86_percent(self, inventory):
+        assert inventory.loaded_share(ComponentKind.COMPUTE_NODE) == pytest.approx(
+            0.86, abs=0.02
+        )
+
+    def test_switch_share_near_6_percent(self, inventory):
+        assert inventory.loaded_share(ComponentKind.SWITCH) == pytest.approx(
+            0.06, abs=0.015
+        )
+
+    def test_storage_share_near_1_percent(self, inventory):
+        assert inventory.loaded_share(ComponentKind.FILESYSTEM) == pytest.approx(
+            0.01, abs=0.005
+        )
+
+    def test_node_loaded_total_near_3000_kw(self, inventory):
+        nodes = [a for a in inventory.aggregates() if a.kind is ComponentKind.COMPUTE_NODE]
+        assert nodes[0].loaded_power_w / 1e3 == pytest.approx(3000.0, rel=0.02)
+
+    def test_node_idle_total_near_1350_kw(self, inventory):
+        nodes = [a for a in inventory.aggregates() if a.kind is ComponentKind.COMPUTE_NODE]
+        assert nodes[0].idle_power_w / 1e3 == pytest.approx(1350.0, rel=0.02)
+
+    def test_compute_cabinets_are_90_percent_of_total(self, inventory):
+        """§3.2: cabinet meters cover ~90 % of facility power."""
+        share = inventory.compute_cabinet_power_w(1.0) / inventory.loaded_power_w()
+        assert share == pytest.approx(0.96, abs=0.05)
+
+
+class TestScaledInventory:
+    def test_proportions_preserved(self):
+        small = scaled_inventory(0.1)
+        full = archer2_inventory()
+        assert small.n_nodes == pytest.approx(full.n_nodes * 0.1, rel=0.01)
+        # Share structure survives scaling approximately (min-one-unit
+        # rounding inflates small components at low fractions).
+        assert small.loaded_share(ComponentKind.COMPUTE_NODE) == pytest.approx(
+            full.loaded_share(ComponentKind.COMPUTE_NODE), abs=0.08
+        )
+
+    def test_minimum_one_unit_each(self):
+        tiny = scaled_inventory(0.001)
+        assert tiny.n_nodes >= 1
+        assert tiny.n_switches >= 1
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            scaled_inventory(0.0)
+        with pytest.raises(ValueError):
+            scaled_inventory(1.5)

@@ -1,0 +1,81 @@
+"""Cooling model and PUE accounting tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.facility.cooling import CoolingModel
+from repro.facility.inventory import FacilityInventory
+from repro.facility.power import FacilityPowerModel
+from repro.facility.pue import pue, pue_from_breakdown
+
+
+class TestCoolingModel:
+    def test_capacity_from_cdus(self, inventory):
+        model = CoolingModel(inventory)
+        assert model.capacity_kw == pytest.approx(6 * 800.0)
+
+    def test_constant_power_default(self, inventory):
+        model = CoolingModel(inventory)
+        assert model.cdu_power_kw(0.0) == pytest.approx(96.0)
+        assert model.cdu_power_kw(3000.0) == pytest.approx(96.0)
+
+    def test_variable_fraction_scales_with_load(self, inventory):
+        model = CoolingModel(inventory, variable_fraction=0.5)
+        low = model.cdu_power_kw(0.0)
+        high = model.cdu_power_kw(model.capacity_kw)
+        assert low == pytest.approx(48.0)
+        assert high == pytest.approx(96.0)
+
+    def test_assessment_adequate_at_loaded_power(self, inventory):
+        model = CoolingModel(inventory)
+        # Full ARCHER2 load ~3.5 MW vs 4.8 MW CDU capacity.
+        assessment = model.assess(inventory.loaded_power_w() / 1e3)
+        assert assessment.adequate
+        assert assessment.headroom_kw > 0
+        assert 0 < assessment.utilisation < 1
+
+    def test_assessment_inadequate_when_overloaded(self, inventory):
+        model = CoolingModel(inventory)
+        assessment = model.assess(10_000.0)
+        assert not assessment.adequate
+        assert assessment.headroom_kw < 0
+
+    def test_no_cdus_rejected(self):
+        from repro.facility.hardware import NodeSpec
+
+        inv = FacilityInventory("no-cdu")
+        inv.add(NodeSpec(name="n", idle_power_w=230, loaded_power_w=510), 4)
+        with pytest.raises(ConfigurationError, match="no CDUs"):
+            CoolingModel(inv)
+
+
+class TestPue:
+    def test_pue_of_archer2_is_low(self, inventory):
+        """Direct liquid cooling keeps PUE near 1."""
+        breakdown = FacilityPowerModel(inventory).breakdown(1.0)
+        report = pue_from_breakdown(breakdown)
+        assert 1.0 < report.pue < 1.1
+
+    def test_plant_overhead_raises_pue(self, inventory):
+        breakdown = FacilityPowerModel(inventory).breakdown(1.0)
+        base = pue_from_breakdown(breakdown).pue
+        with_overhead = pue_from_breakdown(breakdown, plant_overhead_fraction=0.1).pue
+        assert with_overhead > base
+
+    def test_direct_pue(self):
+        assert pue(1000.0, 100.0) == pytest.approx(1.1)
+
+    def test_zero_it_power_rejected(self):
+        with pytest.raises(ConfigurationError):
+            pue(0.0, 50.0)
+
+    def test_reducing_it_power_reduces_absolute_overhead_not_pue(self, inventory):
+        """The §4 interventions shrink IT power; cooling shrinks with it in
+        absolute terms even though PUE (a ratio) may worsen slightly."""
+        breakdown_full = FacilityPowerModel(inventory).breakdown(1.0)
+        breakdown_low = FacilityPowerModel(inventory).breakdown(
+            1.0, busy_node_power_w=400.0
+        )
+        full = pue_from_breakdown(breakdown_full, plant_overhead_fraction=0.05)
+        low = pue_from_breakdown(breakdown_low, plant_overhead_fraction=0.05)
+        assert low.total_power_kw < full.total_power_kw

@@ -1,0 +1,79 @@
+"""Node failure/repair model tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.facility.failures import FailureModel
+from repro.units import SECONDS_PER_DAY
+
+
+class TestSteadyState:
+    def test_unavailability_formula(self):
+        model = FailureModel(mtbf_hours=1000.0, mttr_hours=10.0)
+        assert model.steady_state_unavailability == pytest.approx(10.0 / 1010.0)
+
+    def test_archer2_scale_unavailability_small(self):
+        """Default parameters: well under 1 % of the machine down."""
+        assert FailureModel().steady_state_unavailability < 0.01
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            FailureModel(mtbf_hours=0.0)
+
+
+class TestExpectedFailures:
+    def test_scales_with_fleet_and_time(self):
+        model = FailureModel(mtbf_hours=1000.0, mttr_hours=1.0)
+        one = model.expected_failures(100, 36_000.0)
+        double_fleet = model.expected_failures(200, 36_000.0)
+        double_time = model.expected_failures(100, 72_000.0)
+        assert double_fleet == pytest.approx(2 * one)
+        assert double_time == pytest.approx(2 * one)
+
+    def test_archer2_weekly_failures_plausible(self):
+        """5,860 nodes at a 4-year MTBF → a couple of failures a day."""
+        weekly = FailureModel().expected_failures(5860, 7 * SECONDS_PER_DAY)
+        assert 5 < weekly < 40
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FailureModel().expected_failures(0, 100.0)
+        with pytest.raises(ConfigurationError):
+            FailureModel().expected_failures(10, -1.0)
+
+
+class TestTimeline:
+    def test_mean_matches_steady_state(self, rng):
+        model = FailureModel(mtbf_hours=200.0, mttr_hours=10.0)
+        timeline = model.sample_timeline(2000, 60 * SECONDS_PER_DAY, rng)
+        assert timeline.mean_unavailability == pytest.approx(
+            model.steady_state_unavailability, rel=0.25
+        )
+
+    def test_down_counts_bounded(self, rng):
+        model = FailureModel(mtbf_hours=100.0, mttr_hours=50.0)
+        timeline = model.sample_timeline(50, 30 * SECONDS_PER_DAY, rng)
+        assert np.all(timeline.down_nodes >= 0)
+        assert np.all(timeline.down_nodes <= 50)
+        assert timeline.peak_down <= 50
+
+    def test_capacity_loss_accounting(self, rng):
+        model = FailureModel(mtbf_hours=200.0, mttr_hours=10.0)
+        timeline = model.sample_timeline(1000, 10 * SECONDS_PER_DAY, rng)
+        expected_nodeh = (
+            timeline.mean_unavailability * 1000 * 10 * 24.0
+        )
+        assert timeline.capacity_loss_node_hours() == pytest.approx(
+            expected_nodeh, rel=0.01
+        )
+
+    def test_reproducible(self):
+        model = FailureModel(mtbf_hours=200.0, mttr_hours=10.0)
+        a = model.sample_timeline(500, SECONDS_PER_DAY, np.random.default_rng(3))
+        b = model.sample_timeline(500, SECONDS_PER_DAY, np.random.default_rng(3))
+        np.testing.assert_array_equal(a.down_nodes, b.down_nodes)
+
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            FailureModel().sample_timeline(0, 100.0, rng)

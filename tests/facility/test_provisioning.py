@@ -1,0 +1,69 @@
+"""Electrical provisioning tests."""
+
+import pytest
+
+from repro.facility.provisioning import (
+    GridConnection,
+    assess_provisioning,
+    expansion_headroom_nodes,
+)
+
+
+class TestGridConnection:
+    def test_usable_capacity(self):
+        conn = GridConnection(capacity_kw=5000.0, safety_margin=0.10)
+        assert conn.usable_kw == pytest.approx(4500.0)
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            GridConnection(capacity_kw=0.0)
+        with pytest.raises(Exception):
+            GridConnection(capacity_kw=1000.0, safety_margin=1.5)
+
+
+class TestAssessProvisioning:
+    def test_archer2_fits_a_5mw_connection(self, inventory):
+        report = assess_provisioning(inventory, GridConnection(capacity_kw=5000.0))
+        assert report.operating_fits
+        assert report.worst_case_fits
+        assert report.operating_margin_kw > 0
+
+    def test_undersized_connection_flagged(self, inventory):
+        report = assess_provisioning(inventory, GridConnection(capacity_kw=3000.0))
+        assert not report.operating_fits
+
+    def test_worst_case_exceeds_operating(self, inventory):
+        report = assess_provisioning(
+            inventory, GridConnection(capacity_kw=5000.0), utilisation=0.9
+        )
+        assert report.worst_case_kw > report.operating_kw
+
+    def test_physics_worst_case_above_spec(self, inventory, node_model):
+        """The model's compute-bound bound exceeds the spec loaded figure."""
+        spec = assess_provisioning(inventory, GridConnection(capacity_kw=6000.0))
+        physics = assess_provisioning(
+            inventory,
+            GridConnection(capacity_kw=6000.0),
+            worst_case_node_power_w=node_model.max_power_w(),
+        )
+        assert physics.worst_case_kw > spec.worst_case_kw
+
+
+class TestExpansionHeadroom:
+    def test_interventions_buy_nodes(self, inventory):
+        """The §4 savings translate into expansion head-room: lowering busy
+        node power frees connection capacity worth hundreds of nodes."""
+        conn = GridConnection(capacity_kw=4200.0, safety_margin=0.05)
+        before = expansion_headroom_nodes(inventory, conn, busy_node_power_w=490.0)
+        after = expansion_headroom_nodes(inventory, conn, busy_node_power_w=400.0)
+        assert after > before
+        assert after - before > 300
+
+    def test_saturated_connection_zero_headroom(self, inventory):
+        conn = GridConnection(capacity_kw=3400.0)
+        assert expansion_headroom_nodes(inventory, conn) == 0
+
+    def test_headroom_scales_with_capacity(self, inventory):
+        small = expansion_headroom_nodes(inventory, GridConnection(capacity_kw=4000.0))
+        large = expansion_headroom_nodes(inventory, GridConnection(capacity_kw=6000.0))
+        assert large > small

@@ -1,0 +1,84 @@
+"""Decarbonisation-trajectory tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.emissions import EmbodiedProfile, EmissionsModel
+from repro.errors import ConfigurationError
+from repro.grid.trajectory import (
+    DecarbonisationTrajectory,
+    lifetime_average_ci,
+    regime_crossing_year,
+)
+
+
+@pytest.fixture(scope="module")
+def uk_like():
+    return DecarbonisationTrajectory()
+
+
+class TestTrajectory:
+    def test_starts_at_start(self, uk_like):
+        assert uk_like.ci_at(0.0) == pytest.approx(190.0)
+
+    def test_monotone_decline_to_floor(self, uk_like):
+        years = np.arange(0.0, 60.0, 1.0)
+        ci = uk_like.ci_at(years)
+        assert np.all(np.diff(ci) <= 1e-12)
+        assert ci[-1] == pytest.approx(uk_like.floor_g_per_kwh)
+
+    def test_halving_time_about_a_decade(self, uk_like):
+        """7 %/yr halves CI in ~9.6 years."""
+        assert uk_like.years_to_reach(95.0) == pytest.approx(9.55, abs=0.3)
+
+    def test_target_below_floor_unreachable(self, uk_like):
+        assert uk_like.years_to_reach(5.0) == float("inf")
+
+    def test_target_above_start_immediate(self, uk_like):
+        assert uk_like.years_to_reach(400.0) == 0.0
+
+    def test_flat_trajectory_never_moves(self):
+        flat = DecarbonisationTrajectory(annual_reduction=0.0)
+        assert flat.years_to_reach(100.0) == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DecarbonisationTrajectory(annual_reduction=1.0)
+        with pytest.raises(ConfigurationError):
+            DecarbonisationTrajectory(floor_g_per_kwh=500.0)
+        with pytest.raises(ConfigurationError):
+            DecarbonisationTrajectory().ci_at(-1.0)
+
+
+class TestLifetimeAverage:
+    def test_average_between_endpoints(self, uk_like):
+        avg = lifetime_average_ci(uk_like, 6.0)
+        assert uk_like.ci_at(6.0) < avg < uk_like.ci_at(0.0)
+
+    def test_flat_grid_average_is_start(self):
+        flat = DecarbonisationTrajectory(annual_reduction=0.0)
+        assert lifetime_average_ci(flat, 6.0) == pytest.approx(190.0)
+
+
+class TestRegimeCrossing:
+    def test_archer2_never_crosses_in_six_years(self, uk_like):
+        """From 190 g/kWh at 7 %/yr, the ~54 g/kWh crossover is ~17 years
+        out — beyond a 6-year service life, so the paper's energy-efficiency
+        posture holds for the whole life."""
+        model = EmissionsModel(embodied=EmbodiedProfile(), mean_power_kw=3500.0)
+        crossing = regime_crossing_year(
+            uk_like, model.crossover_ci_g_per_kwh(), lifetime_years=6.0
+        )
+        assert crossing is None
+
+    def test_fast_decarbonisation_crosses_mid_life(self):
+        """On an aggressively decarbonising grid the same facility flips to
+        scope-3-dominated mid-life — and should then flip its operating
+        posture to performance-first."""
+        fast = DecarbonisationTrajectory(start_ci_g_per_kwh=100.0, annual_reduction=0.20)
+        model = EmissionsModel(embodied=EmbodiedProfile(), mean_power_kw=3500.0)
+        crossing = regime_crossing_year(
+            fast, model.crossover_ci_g_per_kwh(), lifetime_years=6.0
+        )
+        assert crossing is not None
+        assert 1.0 < crossing < 6.0

@@ -1,0 +1,38 @@
+"""Smoke tests: every shipped example must run cleanly end to end.
+
+Each example is executed as a subprocess (the way a user runs it) with a
+generous timeout; we assert a zero exit code and that the headline sections
+of its output appear.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+CASES = {
+    "quickstart.py": ["mean compute-cabinet power", "crossover"],
+    "frequency_sweep.py": ["module-reset rule", "Energy-optimal freq"],
+    "emissions_planning.py": ["Recommended config", "2.0GHz / performance-determinism"],
+    "grid_citizenship.py": ["freed for the grid", "Scope-2 emissions"],
+    "future_work.py": ["Training break-even", "Shed achieved"],
+    "site_study.py": ["decision engine recommends", "tCO2e avoided"],
+}
+
+
+@pytest.mark.parametrize("script,expected", sorted(CASES.items()))
+def test_example_runs(script, expected):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"missing example {script}"
+    proc = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=420,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    for fragment in expected:
+        assert fragment in proc.stdout, f"{script}: {fragment!r} not in output"

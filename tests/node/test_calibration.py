@@ -1,0 +1,70 @@
+"""Node calibration fit tests."""
+
+import pytest
+
+from repro.node.calibration import (
+    LOADED_NODE_ANCHOR_W,
+    build_node_model,
+    fit_node_constants,
+)
+
+
+@pytest.fixture(scope="module")
+def fit():
+    return fit_node_constants()
+
+
+class TestBuildNodeModel:
+    def test_default_model(self):
+        model = build_node_model()
+        assert model.idle_power_w == 230.0
+
+    def test_custom_constants_threaded(self):
+        from repro.node.node_power import NodePowerConstants
+
+        model = build_node_model(NodePowerConstants(idle_w=250.0))
+        assert model.idle_power_w == 250.0
+
+
+class TestFit:
+    def test_fit_converges(self, fit):
+        assert fit.cost < 0.1
+
+    def test_constants_physical(self, fit):
+        c = fit.constants
+        assert 150.0 <= c.cpu_dynamic_w <= 700.0
+        assert 10.0 <= c.memory_dynamic_w <= 200.0
+        assert 0.05 <= c.stall_activity <= 0.8
+        assert 0.70 <= fit.determinism.performance_power_derate <= 1.0
+
+    def test_residuals_labelled_per_row(self, fit):
+        keys = set(fit.residuals)
+        assert any(k.startswith("T4:") for k in keys)
+        assert any(k.startswith("T3:") for k in keys)
+        assert "T2:loaded-node-anchor" in keys
+
+    def test_anchor_respected(self, fit):
+        """Fitted loaded-node power stays near the Table 2 anchor."""
+        assert abs(fit.residuals["T2:loaded-node-anchor"]) < 0.05
+
+    def test_max_residual_modest(self, fit):
+        """The worst row (the Nektar++/ONETEP outliers) stays within ~0.12
+        of the paper's energy ratio; typical rows are far closer."""
+        assert fit.max_abs_residual < 0.15
+
+    def test_typical_residuals_small(self, fit):
+        t4 = [abs(v) for k, v in fit.residuals.items() if k.startswith("T4:")]
+        t4.sort()
+        # At least four of seven Table 4 rows within 0.05.
+        assert sum(1 for r in t4 if r < 0.05) >= 4
+
+    def test_fitted_model_keeps_anchor_power(self, fit):
+        model = build_node_model(fit.constants, fit.determinism)
+        from repro.node.determinism import DeterminismMode
+        from repro.node.pstates import FrequencySetting
+
+        point = model.cpu.operating_point(
+            FrequencySetting.GHZ_2_25_TURBO, DeterminismMode.POWER
+        )
+        power = float(model.busy_power_w(point, 0.3, 0.7))
+        assert power == pytest.approx(LOADED_NODE_ANCHOR_W, rel=0.05)

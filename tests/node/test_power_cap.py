@@ -1,0 +1,70 @@
+"""Node power-cap tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.node.power_cap import cap_comparison, effective_frequency_under_cap
+from repro.workload.applications import paper_frequency_benchmarks
+
+
+@pytest.fixture(scope="module")
+def apps():
+    return paper_frequency_benchmarks()
+
+
+class TestEffectiveFrequency:
+    def test_generous_cap_uncapped(self, node_model, apps):
+        result = effective_frequency_under_cap(apps["VASP CdTe"], 800.0, node_model)
+        assert not result.throttled
+        assert result.perf_ratio == 1.0
+        assert result.effective_ghz == pytest.approx(2.8 * 0.99)
+
+    def test_tight_cap_throttles(self, node_model, apps):
+        result = effective_frequency_under_cap(apps["LAMMPS Ethanol"], 400.0, node_model)
+        assert result.throttled
+        assert result.effective_ghz < 2.7
+        assert result.perf_ratio < 1.0
+
+    def test_power_respects_cap(self, node_model, apps):
+        for name in ("LAMMPS Ethanol", "CASTEP Al Slab", "GROMACS 1400k"):
+            result = effective_frequency_under_cap(apps[name], 420.0, node_model)
+            assert result.node_power_w <= 420.0 + 0.5
+
+    def test_bisection_tight(self, node_model, apps):
+        """The found frequency sits at the cap boundary (within tolerance)."""
+        result = effective_frequency_under_cap(apps["LAMMPS Ethanol"], 450.0, node_model)
+        assert result.node_power_w == pytest.approx(450.0, abs=2.0)
+
+    def test_infeasible_cap_rejected(self, node_model, apps):
+        with pytest.raises(ConfigurationError, match="floor"):
+            effective_frequency_under_cap(apps["LAMMPS Ethanol"], 250.0, node_model)
+
+    def test_validation(self, node_model, apps):
+        with pytest.raises(Exception):
+            effective_frequency_under_cap(apps["VASP CdTe"], 0.0, node_model)
+        with pytest.raises(ConfigurationError):
+            effective_frequency_under_cap(
+                apps["VASP CdTe"], 400.0, node_model, f_min_ghz=3.0
+            )
+
+
+class TestCapComparison:
+    def test_caps_self_select_compute_bound_apps(self, node_model, apps):
+        """The watts-domain Table 4: a fleet cap throttles compute-bound
+        codes hard while memory-bound codes keep (nearly) full speed."""
+        results = {r.app_name: r for r in cap_comparison(apps, 430.0, node_model)}
+        lammps = results["LAMMPS Ethanol"]
+        vasp = results["VASP CdTe"]
+        assert lammps.throttled
+        assert lammps.perf_ratio < 0.9
+        assert vasp.perf_ratio > 0.97
+
+    def test_looser_cap_higher_perf(self, node_model, apps):
+        tight = {
+            r.app_name: r.perf_ratio for r in cap_comparison(apps, 400.0, node_model)
+        }
+        loose = {
+            r.app_name: r.perf_ratio for r in cap_comparison(apps, 500.0, node_model)
+        }
+        for name in tight:
+            assert loose[name] >= tight[name] - 1e-9

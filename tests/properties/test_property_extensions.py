@@ -1,0 +1,117 @@
+"""Property-based tests for the extension modules."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.carbon_aware import optimal_shift_savings
+from repro.node.thermal import ThermalModel
+from repro.telemetry.series import TimeSeries
+from repro.workload.applications import AppProfile
+from repro.workload.toolchain import Toolchain, apply_toolchain
+
+fractions = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+speedups = st.floats(min_value=1.0, max_value=3.0, allow_nan=False)
+
+
+class TestToolchainProperties:
+    @given(fractions, speedups, speedups)
+    @settings(max_examples=100)
+    def test_compute_fraction_stays_in_range(self, phi, s_c, s_m):
+        app = AppProfile(
+            name="p", research_area="x", compute_fraction=phi, typical_nodes=4
+        )
+        rebuilt = apply_toolchain(
+            app, Toolchain(name="t", compute_speedup=s_c, memory_speedup=s_m)
+        )
+        assert 0.0 <= rebuilt.compute_fraction <= 1.0
+
+    @given(fractions, speedups, speedups)
+    @settings(max_examples=100)
+    def test_runtime_never_grows(self, phi, s_c, s_m):
+        """Speedups ≥ 1 can only shorten the runtime."""
+        app = AppProfile(
+            name="p", research_area="x", compute_fraction=phi, typical_nodes=4
+        )
+        rebuilt = apply_toolchain(
+            app, Toolchain(name="t", compute_speedup=s_c, memory_speedup=s_m)
+        )
+        assert rebuilt.baseline_runtime_s <= app.baseline_runtime_s + 1e-9
+
+    @given(fractions, speedups)
+    @settings(max_examples=100)
+    def test_compute_speedup_never_raises_sensitivity(self, phi, s_c):
+        app = AppProfile(
+            name="p", research_area="x", compute_fraction=phi, typical_nodes=4
+        )
+        rebuilt = apply_toolchain(app, Toolchain(name="t", compute_speedup=s_c))
+        before = app.roofline.perf_ratio(2.0)
+        after = rebuilt.roofline.perf_ratio(2.0)
+        assert after >= before - 1e-9
+
+
+class TestCarbonAwareProperties:
+    @st.composite
+    def power_and_ci(draw):
+        n = draw(st.integers(min_value=24, max_value=96))
+        times = 3600.0 * np.arange(n)
+        power = draw(
+            st.lists(
+                st.floats(min_value=100.0, max_value=5000.0, allow_nan=False),
+                min_size=n,
+                max_size=n,
+            )
+        )
+        ci = draw(
+            st.lists(
+                st.floats(min_value=10.0, max_value=600.0, allow_nan=False),
+                min_size=n,
+                max_size=n,
+            )
+        )
+        return (
+            TimeSeries(times, np.asarray(power)),
+            TimeSeries(times, np.asarray(ci)),
+        )
+
+    @given(power_and_ci(), fractions)
+    @settings(max_examples=60, deadline=None)
+    def test_shifting_never_increases_emissions(self, series_pair, flexible):
+        power, ci = series_pair
+        outcome = optimal_shift_savings(power, ci, flexible)
+        assert outcome.shifted_tco2e <= outcome.baseline_tco2e + 1e-9
+
+    @given(power_and_ci())
+    @settings(max_examples=40, deadline=None)
+    def test_full_flexibility_bounded_by_min_ci(self, series_pair):
+        """Even perfect shifting cannot beat running everything at the
+        window's minimum CI."""
+        power, ci = series_pair
+        outcome = optimal_shift_savings(power, ci, 1.0)
+        total_kwh = float(np.sum(power.values))  # hourly samples → kWh
+        floor_t = total_kwh * float(ci.values.min()) / 1e6
+        assert outcome.shifted_tco2e >= floor_t - 1e-9
+
+
+class TestThermalProperties:
+    @given(
+        st.floats(min_value=10.0, max_value=45.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=800.0, allow_nan=False),
+    )
+    @settings(max_examples=100)
+    def test_fixed_point_self_consistent(self, coolant, dynamic):
+        thermal = ThermalModel()
+        total = thermal.solve_node_power_w(coolant, dynamic)
+        t_j = thermal.junction_temperature_c(coolant, total)
+        assert abs(total - dynamic - thermal.leakage_w(t_j)) < 0.05
+
+    @given(
+        st.floats(min_value=10.0, max_value=44.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=800.0, allow_nan=False),
+    )
+    @settings(max_examples=100)
+    def test_total_power_monotone_in_coolant(self, coolant, dynamic):
+        thermal = ThermalModel()
+        cold = thermal.solve_node_power_w(coolant, dynamic)
+        warm = thermal.solve_node_power_w(coolant + 1.0, dynamic)
+        assert warm >= cold - 1e-9

@@ -1,0 +1,94 @@
+"""Power trace and simulation accounting tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchedulingError
+from repro.scheduler.accounting import PowerTrace, TraceBuilder
+
+
+def step_trace():
+    """Power 100 W on [0,10), 300 W on [10,20), 0 after, horizon 30."""
+    return PowerTrace(
+        times_s=np.array([0.0, 10.0, 20.0]),
+        busy_power_w=np.array([100.0, 300.0, 0.0]),
+        busy_nodes=np.array([1.0, 3.0, 0.0]),
+        t_end_s=30.0,
+    )
+
+
+class TestPowerTrace:
+    def test_time_weighted_mean_exact(self):
+        trace = step_trace()
+        # (100·10 + 300·10 + 0·10) / 30
+        assert trace.mean_busy_power_w() == pytest.approx(4000.0 / 30.0)
+
+    def test_energy_exact(self):
+        assert step_trace().energy_j() == pytest.approx(100.0 * 10 + 300.0 * 10)
+
+    def test_sample_previous_value_hold(self):
+        trace = step_trace()
+        samples = trace.sample(np.array([0.0, 5.0, 10.0, 15.0, 25.0]))
+        np.testing.assert_allclose(samples, [100.0, 100.0, 300.0, 300.0, 0.0])
+
+    def test_sample_before_start_clamps(self):
+        assert step_trace().sample(np.array([-5.0]))[0] == 100.0
+
+    def test_sample_busy_nodes(self):
+        nodes = step_trace().sample_busy_nodes(np.array([5.0, 15.0, 25.0]))
+        np.testing.assert_allclose(nodes, [1.0, 3.0, 0.0])
+
+    def test_mean_busy_nodes(self):
+        assert step_trace().mean_busy_nodes() == pytest.approx(4.0 / 3.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(SchedulingError):
+            PowerTrace(
+                times_s=np.array([0.0, 1.0]),
+                busy_power_w=np.array([1.0]),
+                busy_nodes=np.array([1.0, 2.0]),
+                t_end_s=2.0,
+            )
+
+    def test_decreasing_times_rejected(self):
+        with pytest.raises(SchedulingError):
+            PowerTrace(
+                times_s=np.array([1.0, 0.5]),
+                busy_power_w=np.array([1.0, 2.0]),
+                busy_nodes=np.array([1.0, 2.0]),
+                t_end_s=2.0,
+            )
+
+    def test_horizon_before_last_point_rejected(self):
+        with pytest.raises(SchedulingError):
+            PowerTrace(
+                times_s=np.array([0.0, 10.0]),
+                busy_power_w=np.array([1.0, 2.0]),
+                busy_nodes=np.array([1.0, 2.0]),
+                t_end_s=5.0,
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchedulingError):
+            PowerTrace(
+                times_s=np.array([]),
+                busy_power_w=np.array([]),
+                busy_nodes=np.array([]),
+                t_end_s=1.0,
+            )
+
+
+class TestTraceBuilder:
+    def test_same_instant_updates_coalesce(self):
+        builder = TraceBuilder(0.0)
+        builder.append(0.0, 100.0, 1)
+        builder.append(5.0, 200.0, 2)
+        builder.append(5.0, 300.0, 3)  # same instant: replaces
+        trace = builder.build(10.0)
+        assert len(trace.times_s) == 2
+        assert trace.sample(np.array([6.0]))[0] == 300.0
+
+    def test_empty_builder_yields_zero_trace(self):
+        trace = TraceBuilder(2.0).build(10.0)
+        assert trace.mean_busy_power_w() == 0.0
+        assert trace.t_start_s == 2.0

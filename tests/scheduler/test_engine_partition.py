@@ -1,0 +1,97 @@
+"""Event queue and node pool tests."""
+
+import pytest
+
+from repro.errors import AllocationError, SchedulingError
+from repro.scheduler.engine import Event, EventKind, EventQueue
+from repro.scheduler.partition import NodePool
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        q = EventQueue()
+        q.push(Event(5.0, EventKind.MARKER, "late"))
+        q.push(Event(1.0, EventKind.MARKER, "early"))
+        q.push(Event(3.0, EventKind.MARKER, "mid"))
+        assert [q.pop().payload for _ in range(3)] == ["early", "mid", "late"]
+
+    def test_fifo_for_simultaneous_events(self):
+        q = EventQueue()
+        for i in range(5):
+            q.push(Event(1.0, EventKind.MARKER, i))
+        assert [q.pop().payload for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SchedulingError):
+            EventQueue().pop()
+
+    def test_push_into_past_raises(self):
+        q = EventQueue()
+        q.push(Event(10.0, EventKind.MARKER))
+        q.pop()
+        with pytest.raises(SchedulingError):
+            q.push(Event(5.0, EventKind.MARKER))
+
+    def test_push_at_current_time_allowed(self):
+        q = EventQueue()
+        q.push(Event(10.0, EventKind.MARKER))
+        q.pop()
+        q.push(Event(10.0, EventKind.MARKER))
+        assert q.pop().time_s == 10.0
+
+    def test_peek_and_len(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        assert not q
+        q.push(Event(2.0, EventKind.MARKER))
+        assert q.peek_time() == 2.0
+        assert len(q) == 1
+
+    def test_now_tracks_pops(self):
+        q = EventQueue()
+        q.push(Event(7.0, EventKind.MARKER))
+        q.pop()
+        assert q.now_s == 7.0
+
+
+class TestNodePool:
+    def test_initial_state(self):
+        pool = NodePool(100)
+        assert pool.free == 100
+        assert pool.busy == 0
+        assert pool.utilisation == 0.0
+
+    def test_allocate_release_cycle(self):
+        pool = NodePool(100)
+        pool.allocate(60)
+        assert pool.busy == 60
+        assert pool.utilisation == pytest.approx(0.6)
+        pool.release(60)
+        assert pool.free == 100
+
+    def test_over_allocation_raises(self):
+        pool = NodePool(10)
+        pool.allocate(8)
+        with pytest.raises(AllocationError):
+            pool.allocate(3)
+
+    def test_over_release_raises(self):
+        pool = NodePool(10)
+        pool.allocate(4)
+        with pytest.raises(AllocationError):
+            pool.release(5)
+
+    def test_zero_allocation_raises(self):
+        with pytest.raises(AllocationError):
+            NodePool(10).allocate(0)
+
+    def test_fits(self):
+        pool = NodePool(10)
+        pool.allocate(7)
+        assert pool.fits(3)
+        assert not pool.fits(4)
+        assert not pool.fits(0)
+
+    def test_bad_capacity(self):
+        with pytest.raises(AllocationError):
+            NodePool(0)

@@ -1,0 +1,130 @@
+"""Frequency policy tests (§4.2 operational rules)."""
+
+import pytest
+
+from repro.node.cpu import CpuModel
+from repro.node.determinism import DeterminismMode
+from repro.node.pstates import FrequencySetting
+from repro.scheduler.frequency_policy import FrequencyPolicy
+from repro.workload.applications import full_catalogue, paper_curated_apps
+from repro.workload.jobs import Job
+
+
+@pytest.fixture(scope="module")
+def cpu():
+    return CpuModel()
+
+
+@pytest.fixture(scope="module")
+def catalogue():
+    return full_catalogue()
+
+
+def make_job(app, override=None):
+    return Job(
+        job_id=0,
+        app=app,
+        n_nodes=4,
+        submit_time_s=0.0,
+        reference_runtime_s=3600.0,
+        frequency_override=override,
+    )
+
+
+class TestDefaultPolicy:
+    def test_turbo_default_passes_through(self, cpu, catalogue):
+        policy = FrequencyPolicy()  # default 2.25+turbo
+        job = make_job(catalogue["LAMMPS Ethanol"])
+        assert (
+            policy.setting_for(job, cpu, DeterminismMode.POWER)
+            is FrequencySetting.GHZ_2_25_TURBO
+        )
+
+    def test_impact_zero_when_default_is_reset(self, cpu, catalogue):
+        policy = FrequencyPolicy()
+        impact = policy.perf_impact(
+            catalogue["LAMMPS Ethanol"], cpu, DeterminismMode.POWER
+        )
+        assert impact == 0.0
+
+
+class TestTwoGhzDefault:
+    @pytest.fixture
+    def policy(self):
+        return FrequencyPolicy(default_setting=FrequencySetting.GHZ_2_0)
+
+    def test_memory_bound_apps_follow_default(self, policy, cpu, catalogue):
+        job = make_job(catalogue["VASP CdTe"])  # 5 % impact
+        assert (
+            policy.setting_for(job, cpu, DeterminismMode.PERFORMANCE)
+            is FrequencySetting.GHZ_2_0
+        )
+
+    def test_high_impact_apps_reset_to_turbo(self, policy, cpu, catalogue):
+        """Paper: apps with >10 % expected impact get module resets."""
+        for name in ("LAMMPS Ethanol", "GROMACS 1400k", "Nektar++ TGV 128DoF"):
+            job = make_job(catalogue[name])
+            assert (
+                policy.setting_for(job, cpu, DeterminismMode.PERFORMANCE)
+                is FrequencySetting.GHZ_2_25_TURBO
+            ), name
+
+    def test_impact_matches_paper_threshold_logic(self, policy, cpu, catalogue):
+        impact = policy.perf_impact(
+            catalogue["LAMMPS Ethanol"], cpu, DeterminismMode.PERFORMANCE
+        )
+        assert impact == pytest.approx(0.26, abs=0.02)
+
+    def test_user_override_wins(self, policy, cpu, catalogue):
+        job = make_job(
+            catalogue["VASP CdTe"], override=FrequencySetting.GHZ_2_25_TURBO
+        )
+        assert (
+            policy.setting_for(job, cpu, DeterminismMode.PERFORMANCE)
+            is FrequencySetting.GHZ_2_25_TURBO
+        )
+
+    def test_override_ignored_when_disabled(self, cpu, catalogue):
+        policy = FrequencyPolicy(
+            default_setting=FrequencySetting.GHZ_2_0, respect_user_override=False
+        )
+        job = make_job(
+            catalogue["VASP CdTe"], override=FrequencySetting.GHZ_2_25_TURBO
+        )
+        assert (
+            policy.setting_for(job, cpu, DeterminismMode.PERFORMANCE)
+            is FrequencySetting.GHZ_2_0
+        )
+
+    def test_disabled_threshold_never_resets(self, cpu, catalogue):
+        policy = FrequencyPolicy(
+            default_setting=FrequencySetting.GHZ_2_0, reset_threshold=None
+        )
+        job = make_job(catalogue["LAMMPS Ethanol"])
+        assert (
+            policy.setting_for(job, cpu, DeterminismMode.PERFORMANCE)
+            is FrequencySetting.GHZ_2_0
+        )
+
+    def test_curated_list_limits_resets(self, cpu, catalogue):
+        """Uncurated high-impact apps follow the default (long-tail codes)."""
+        policy = FrequencyPolicy(
+            default_setting=FrequencySetting.GHZ_2_0,
+            curated_apps=paper_curated_apps(),
+        )
+        curated_job = make_job(catalogue["LAMMPS Ethanol"])
+        uncurated_job = make_job(catalogue["Plasma archetype"])  # ~15 % impact
+        assert (
+            policy.setting_for(curated_job, cpu, DeterminismMode.PERFORMANCE)
+            is FrequencySetting.GHZ_2_25_TURBO
+        )
+        assert (
+            policy.setting_for(uncurated_job, cpu, DeterminismMode.PERFORMANCE)
+            is FrequencySetting.GHZ_2_0
+        )
+
+    def test_impact_cache_consistency(self, policy, cpu, catalogue):
+        app = catalogue["CASTEP Al Slab"]
+        first = policy.perf_impact(app, cpu, DeterminismMode.PERFORMANCE)
+        second = policy.perf_impact(app, cpu, DeterminismMode.PERFORMANCE)
+        assert first == second

@@ -1,0 +1,93 @@
+"""Telemetry data-quality tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry.quality import assess_quality, find_flatlines, find_gaps
+from repro.telemetry.series import TimeSeries
+
+
+def regular(values, step=900.0):
+    return TimeSeries(step * np.arange(len(values)), np.asarray(values, dtype=float))
+
+
+class TestFindGaps:
+    def test_no_gaps_in_clean_series(self):
+        series = regular(np.random.default_rng(0).normal(3220, 10, 100))
+        assert find_gaps(series, max_gap_s=1800.0) == []
+
+    def test_missing_timestamps_gap(self):
+        times = np.concatenate([np.arange(0.0, 10.0), np.arange(100.0, 110.0)])
+        series = TimeSeries(times, np.ones(20))
+        gaps = find_gaps(series, max_gap_s=10.0)
+        assert len(gaps) == 1
+        assert gaps[0].start_s == 9.0
+        assert gaps[0].end_s == 100.0
+        assert gaps[0].duration_s == 91.0
+
+    def test_nan_run_counts_as_gap(self):
+        values = np.ones(50)
+        values[10:30] = np.nan
+        series = regular(values, step=60.0)
+        gaps = find_gaps(series, max_gap_s=300.0)
+        assert len(gaps) == 1
+        assert gaps[0].duration_s == pytest.approx(21 * 60.0)
+
+    def test_all_nan_is_one_gap(self):
+        series = regular([np.nan] * 10)
+        gaps = find_gaps(series, max_gap_s=60.0)
+        assert len(gaps) == 1
+        assert gaps[0].duration_s == pytest.approx(series.span_s)
+
+
+class TestFlatlines:
+    def test_jittery_series_not_flat(self, rng):
+        series = regular(3220.0 + rng.normal(0, 5, 200))
+        assert find_flatlines(series) == 0.0
+
+    def test_stuck_sensor_detected(self, rng):
+        values = 3220.0 + rng.normal(0, 5, 200)
+        values[50:100] = 3215.0  # 50 identical samples
+        fraction = find_flatlines(regular(values))
+        assert fraction == pytest.approx(50 / 200)
+
+    def test_short_repeats_ignored(self):
+        values = np.array([1.0, 1.0, 2.0, 2.0, 3.0, 3.0, 4.0, 4.0, 5.0])
+        assert find_flatlines(regular(values), min_run=4) == 0.0
+
+    def test_nan_breaks_runs(self):
+        values = np.array([1.0] * 5 + [np.nan] + [1.0] * 5)
+        assert find_flatlines(regular(values), min_run=8) == 0.0
+
+    def test_min_run_validated(self):
+        with pytest.raises(TelemetryError):
+            find_flatlines(regular(np.ones(10)), min_run=1)
+
+
+class TestAssessQuality:
+    def test_healthy_series(self, rng):
+        series = regular(3220.0 + rng.normal(0, 20, 500))
+        report = assess_quality(series)
+        assert report.coverage == 1.0
+        assert report.healthy()
+        assert report.gaps == ()
+
+    def test_unhealthy_low_coverage(self, rng):
+        values = 3220.0 + rng.normal(0, 20, 500)
+        values[::3] = np.nan
+        report = assess_quality(regular(values))
+        assert report.coverage < 0.95
+        assert not report.healthy()
+
+    def test_unhealthy_long_gap(self, rng):
+        values = 3220.0 + rng.normal(0, 20, 500)
+        values[100:250] = np.nan  # 150 × 900 s ≈ 1.6 days
+        report = assess_quality(regular(values))
+        assert report.longest_gap_s > 86_400.0
+        assert not report.healthy()
+
+    def test_campaign_telemetry_is_healthy(self, baseline_campaign):
+        """The simulated meter's default dropout rate must pass the gates."""
+        report = assess_quality(baseline_campaign.measured_kw)
+        assert report.healthy()

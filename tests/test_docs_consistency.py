@@ -1,0 +1,76 @@
+"""Documentation consistency: the docs must describe the repo that exists."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parents[1]
+
+
+class TestDesignDoc:
+    @pytest.fixture(scope="class")
+    def design(self):
+        return (ROOT / "DESIGN.md").read_text()
+
+    def test_exists_and_confirms_paper_match(self, design):
+        assert "matches the title" in design
+
+    def test_every_bench_target_exists(self, design):
+        for name in re.findall(r"benchmarks/(bench_\w+\.py)", design):
+            assert (ROOT / "benchmarks" / name).exists(), name
+
+    def test_every_named_module_exists(self, design):
+        # Module tree entries look like "    name.py" within the code block.
+        tree = design.split("```")[1]
+        current_pkg = "repro"
+        for line in tree.splitlines():
+            pkg = re.match(r"^  (\w+)/", line)
+            if pkg:
+                current_pkg = f"repro/{pkg.group(1)}"
+                continue
+            for mod in re.findall(r"(\w+\.py)", line):
+                found = list((ROOT / "src").rglob(mod))
+                assert found, f"DESIGN.md names {mod} but no such file exists"
+
+
+class TestExperimentsDoc:
+    @pytest.fixture(scope="class")
+    def experiments(self):
+        return (ROOT / "EXPERIMENTS.md").read_text()
+
+    def test_covers_every_paper_artefact(self, experiments):
+        for artefact in ("T1", "T2", "T3", "T4", "F1", "F2", "F3", "C1", "R1"):
+            assert f"## {artefact}" in experiments or f"— {artefact}" in experiments
+
+    def test_mentioned_benches_exist(self, experiments):
+        for name in re.findall(r"`(bench_\w+\.py)`", experiments):
+            assert (ROOT / "benchmarks" / name).exists(), name
+
+    def test_paper_headline_numbers_present(self, experiments):
+        for number in ("3,220", "3,010", "2,530", "690", "750,080"):
+            assert number in experiments, number
+
+
+class TestReadme:
+    @pytest.fixture(scope="class")
+    def readme(self):
+        return (ROOT / "README.md").read_text()
+
+    def test_examples_table_matches_directory(self, readme):
+        for name in re.findall(r"`examples/(\w+\.py)`", readme):
+            assert (ROOT / "examples" / name).exists(), name
+
+    def test_linked_docs_exist(self, readme):
+        for doc in ("DESIGN.md", "EXPERIMENTS.md"):
+            assert doc in readme
+            assert (ROOT / doc).exists()
+
+    def test_quickstart_snippet_runs(self, readme):
+        block = re.search(r"```python\n(.*?)```", readme, re.DOTALL).group(1)
+        namespace: dict = {}
+        exec(block, namespace)  # noqa: S102 - executing our own README
+
+    def test_docs_directory_files_exist(self):
+        assert (ROOT / "docs" / "modelling.md").exists()
+        assert (ROOT / "docs" / "usage.md").exists()

@@ -1,0 +1,62 @@
+"""Public-API contract: everything advertised in ``__all__`` must resolve."""
+
+import importlib
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.facility",
+    "repro.node",
+    "repro.workload",
+    "repro.scheduler",
+    "repro.telemetry",
+    "repro.grid",
+    "repro.interconnect",
+    "repro.core",
+    "repro.analysis",
+    "repro.experiments",
+]
+
+
+class TestExports:
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_all_names_resolve(self, package):
+        module = importlib.import_module(package)
+        assert hasattr(module, "__all__"), f"{package} has no __all__"
+        for name in module.__all__:
+            assert hasattr(module, name), f"{package}.{name} advertised but missing"
+
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_all_names_unique(self, package):
+        module = importlib.import_module(package)
+        assert len(module.__all__) == len(set(module.__all__))
+
+    def test_version_string(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(p.isdigit() for p in parts)
+
+    def test_top_level_convenience_path(self):
+        """The README quickstart names must live at top level."""
+        for name in (
+            "archer2_inventory",
+            "run_campaign",
+            "CampaignConfig",
+            "build_node_model",
+            "archer2_mix",
+            "classify_ci",
+            "DecisionEngine",
+        ):
+            assert hasattr(repro, name), name
+
+    def test_docstrings_on_public_callables(self):
+        """Every advertised public object carries a docstring."""
+        for package in PACKAGES:
+            module = importlib.import_module(package)
+            for name in module.__all__:
+                obj = getattr(module, name)
+                if callable(obj) and not isinstance(obj, type(repro)):
+                    assert obj.__doc__, f"{package}.{name} lacks a docstring"

@@ -1,0 +1,113 @@
+"""Unit conversion tests."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.errors import UnitError
+
+
+class TestPowerConversions:
+    def test_kw_to_w(self):
+        assert units.kw_to_w(1.0) == 1000.0
+
+    def test_w_to_kw(self):
+        assert units.w_to_kw(2500.0) == 2.5
+
+    def test_mw_roundtrip(self):
+        assert units.w_to_mw(units.mw_to_w(3.5)) == pytest.approx(3.5)
+
+    def test_kw_w_roundtrip_array(self):
+        arr = np.array([0.0, 1.5, 3220.0])
+        np.testing.assert_allclose(units.w_to_kw(units.kw_to_w(arr)), arr)
+
+
+class TestEnergyConversions:
+    def test_kwh_to_j(self):
+        assert units.kwh_to_j(1.0) == 3.6e6
+
+    def test_j_to_kwh_roundtrip(self):
+        assert units.j_to_kwh(units.kwh_to_j(123.4)) == pytest.approx(123.4)
+
+    def test_mwh(self):
+        assert units.mwh_to_j(1.0) == pytest.approx(3.6e9)
+        assert units.j_to_mwh(3.6e9) == pytest.approx(1.0)
+
+    def test_wh(self):
+        assert units.wh_to_j(1.0) == 3600.0
+        assert units.j_to_wh(7200.0) == 2.0
+
+    def test_one_kw_for_one_hour_is_one_kwh(self):
+        energy = units.energy_j(units.kw_to_w(1.0), units.hours_to_s(1.0))
+        assert units.j_to_kwh(energy) == pytest.approx(1.0)
+
+
+class TestTimeConversions:
+    def test_hours(self):
+        assert units.hours_to_s(2.0) == 7200.0
+        assert units.s_to_hours(7200.0) == 2.0
+
+    def test_days(self):
+        assert units.days_to_s(1.0) == 86_400.0
+        assert units.s_to_days(43_200.0) == 0.5
+
+    def test_minutes(self):
+        assert units.minutes_to_s(90.0) == 5400.0
+
+    def test_month_is_mean_gregorian(self):
+        assert units.months_to_s(12.0) == pytest.approx(units.years_to_s(1.0))
+
+    def test_year_length(self):
+        assert units.years_to_s(1.0) == pytest.approx(365.2425 * 86_400.0)
+
+
+class TestEmissionsConversions:
+    def test_gram_kilogram(self):
+        assert units.g_to_kg(1500.0) == 1.5
+        assert units.kg_to_g(1.5) == 1500.0
+
+    def test_tonnes(self):
+        assert units.g_to_tonnes(2e6) == 2.0
+        assert units.tonnes_to_g(2.0) == 2e6
+        assert units.kg_to_tonnes(500.0) == 0.5
+
+    def test_emissions_g_formula(self):
+        # 1 kWh at 100 g/kWh -> 100 g.
+        assert units.emissions_g(units.kwh_to_j(1.0), 100.0) == pytest.approx(100.0)
+
+
+class TestDerived:
+    def test_node_hours(self):
+        assert units.node_hours(10, units.hours_to_s(2.0)) == pytest.approx(20.0)
+
+    def test_energy_j_constant_power(self):
+        assert units.energy_j(500.0, 10.0) == 5000.0
+
+
+class TestValidation:
+    def test_nonnegative_accepts_zero(self):
+        assert units.ensure_nonnegative(0.0, "x") == 0.0
+
+    def test_nonnegative_rejects_negative(self):
+        with pytest.raises(UnitError, match="x"):
+            units.ensure_nonnegative(-1.0, "x")
+
+    def test_nonnegative_rejects_nan(self):
+        with pytest.raises(UnitError):
+            units.ensure_nonnegative(float("nan"), "x")
+
+    def test_positive_rejects_zero(self):
+        with pytest.raises(UnitError):
+            units.ensure_positive(0.0, "x")
+
+    def test_positive_rejects_inf(self):
+        with pytest.raises(UnitError):
+            units.ensure_positive(float("inf"), "x")
+
+    def test_fraction_bounds(self):
+        assert units.ensure_fraction(0.0, "f") == 0.0
+        assert units.ensure_fraction(1.0, "f") == 1.0
+        with pytest.raises(UnitError):
+            units.ensure_fraction(1.0001, "f")
+        with pytest.raises(UnitError):
+            units.ensure_fraction(-0.0001, "f")

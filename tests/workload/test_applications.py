@@ -1,0 +1,102 @@
+"""Application catalogue tests."""
+
+import pytest
+
+from repro.errors import UnitError
+from repro.workload.applications import (
+    AppProfile,
+    TABLE3_PAPER_ROWS,
+    TABLE4_PAPER_ROWS,
+    full_catalogue,
+    paper_bios_benchmarks,
+    paper_curated_apps,
+    paper_frequency_benchmarks,
+    synthetic_archetypes,
+)
+
+
+class TestPaperFrequencyBenchmarks:
+    def test_all_seven_present(self):
+        apps = paper_frequency_benchmarks()
+        assert set(apps) == set(TABLE4_PAPER_ROWS)
+
+    def test_compute_fractions_ordered_like_perf_impacts(self):
+        """More perf-sensitive apps must be more compute bound."""
+        apps = paper_frequency_benchmarks()
+        assert (
+            apps["LAMMPS Ethanol"].compute_fraction
+            > apps["Nektar++ TGV 128DoF"].compute_fraction
+            > apps["GROMACS 1400k"].compute_fraction
+            > apps["CP2K H2O 2048"].compute_fraction
+            > apps["VASP CdTe"].compute_fraction
+        )
+
+    def test_paper_values_attached(self):
+        apps = paper_frequency_benchmarks()
+        for name, (nodes, perf, energy) in TABLE4_PAPER_ROWS.items():
+            assert apps[name].typical_nodes == nodes
+            assert apps[name].paper_perf_ratio == perf
+            assert apps[name].paper_energy_ratio == energy
+
+    def test_roofline_reproduces_perf_ratio(self):
+        for app in paper_frequency_benchmarks().values():
+            predicted = app.roofline.perf_ratio(2.0)
+            assert predicted == pytest.approx(app.paper_perf_ratio, abs=1e-9)
+
+
+class TestPaperBiosBenchmarks:
+    def test_all_three_present(self):
+        assert set(paper_bios_benchmarks()) == set(TABLE3_PAPER_ROWS)
+
+    def test_assumed_flags(self):
+        apps = paper_bios_benchmarks()
+        assert apps["OpenSBLI TGV 1024^3"].assumed
+        assert apps["VASP TiO2"].assumed
+        assert not apps["CASTEP Al Slab"].assumed
+
+    def test_opensbli_memory_bound(self):
+        assert paper_bios_benchmarks()["OpenSBLI TGV 1024^3"].compute_fraction < 0.2
+
+
+class TestCatalogue:
+    def test_full_catalogue_superset(self):
+        catalogue = full_catalogue()
+        for name in TABLE4_PAPER_ROWS:
+            assert name in catalogue
+        for name in synthetic_archetypes():
+            assert name in catalogue
+
+    def test_castep_uses_table4_calibration(self):
+        catalogue = full_catalogue()
+        t4 = paper_frequency_benchmarks()["CASTEP Al Slab"]
+        assert catalogue["CASTEP Al Slab"].compute_fraction == t4.compute_fraction
+
+    def test_archetypes_flagged_assumed(self):
+        for app in synthetic_archetypes().values():
+            assert app.assumed
+
+    def test_curated_apps_cover_both_tables(self):
+        curated = paper_curated_apps()
+        assert "LAMMPS Ethanol" in curated
+        assert "OpenSBLI TGV 1024^3" in curated
+        assert "Climate/Ocean archetype" not in curated
+
+
+class TestAppProfile:
+    def test_invalid_compute_fraction_rejected(self):
+        with pytest.raises(UnitError):
+            AppProfile(
+                name="bad", research_area="x", compute_fraction=1.5, typical_nodes=4
+            )
+
+    def test_invalid_nodes_rejected(self):
+        with pytest.raises(Exception):
+            AppProfile(
+                name="bad", research_area="x", compute_fraction=0.5, typical_nodes=0
+            )
+
+    def test_from_paper_perf_ratio_roundtrip(self):
+        app = AppProfile.from_paper_perf_ratio(
+            name="t", research_area="x", nodes=4, perf_ratio=0.85, energy_ratio=0.9
+        )
+        assert app.roofline.perf_ratio(2.0) == pytest.approx(0.85)

@@ -1,0 +1,83 @@
+"""Strong-scaling model tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workload.scaling import StrongScalingModel, nodes_for_deadline, tradeoff_curve
+
+
+@pytest.fixture(scope="module")
+def model():
+    return StrongScalingModel(t1_s=36_000.0)  # 10 h on one node
+
+
+class TestRuntime:
+    def test_single_node_is_t1(self, model):
+        assert model.runtime_s(1) == pytest.approx(model.t1_s)
+
+    def test_more_nodes_faster_initially(self, model):
+        assert model.runtime_s(8) < model.runtime_s(2) < model.runtime_s(1)
+
+    def test_amdahl_limit(self):
+        pure = StrongScalingModel(t1_s=1000.0, serial_fraction=0.1, comm_coefficient=0.0)
+        assert pure.speedup(100000) < 1.0 / 0.1 + 1e-6
+
+    def test_communication_eventually_dominates(self, model):
+        """With a comm term, enough nodes make the job slower again."""
+        assert model.runtime_s(4096) > model.runtime_s(256)
+
+    def test_vectorised(self, model):
+        out = model.runtime_s(np.array([1, 2, 4]))
+        assert isinstance(out, np.ndarray)
+        assert len(out) == 3
+
+    def test_invalid_nodes_rejected(self, model):
+        with pytest.raises(ConfigurationError):
+            model.runtime_s(0)
+
+
+class TestEfficiency:
+    def test_perfect_at_one_node(self, model):
+        assert model.parallel_efficiency(1) == pytest.approx(1.0)
+
+    def test_efficiency_decreases(self, model):
+        effs = [float(model.parallel_efficiency(n)) for n in (1, 4, 16, 64, 256)]
+        assert effs == sorted(effs, reverse=True)
+
+
+class TestEnergy:
+    def test_energy_monotone_in_nodes(self, model):
+        """With overheads, running wide always costs more kWh."""
+        counts = np.array([1, 2, 4, 8, 16, 64, 256, 1024])
+        energies = model.energy_kwh(counts, node_power_w=480.0)
+        assert np.all(np.diff(energies) > 0)
+
+    def test_tradeoff_curve_structure(self, model):
+        points = tradeoff_curve(model, node_power_w=480.0, max_nodes=256)
+        assert [p.n_nodes for p in points] == [1, 2, 4, 8, 16, 32, 64, 128, 256]
+        energies = [p.energy_kwh for p in points]
+        assert energies == sorted(energies)
+
+    def test_min_nodes_floor_respected(self, model):
+        points = tradeoff_curve(model, 480.0, max_nodes=64, min_nodes=8)
+        assert points[0].n_nodes == 8
+
+    def test_deadline_picks_smallest_feasible(self, model):
+        # Loose deadline: one node suffices (least energy).
+        loose = nodes_for_deadline(model, 480.0, deadline_s=model.t1_s * 2)
+        assert loose.n_nodes == 1
+        # Tight deadline: needs parallelism, costs more energy.
+        tight = nodes_for_deadline(model, 480.0, deadline_s=model.t1_s / 8)
+        assert tight.n_nodes > 8
+        assert tight.energy_kwh > loose.energy_kwh
+
+    def test_impossible_deadline_raises(self, model):
+        with pytest.raises(ConfigurationError, match="deadline"):
+            nodes_for_deadline(model, 480.0, deadline_s=1.0)
+
+    def test_validation(self, model):
+        with pytest.raises(Exception):
+            model.energy_kwh(4, node_power_w=0.0)
+        with pytest.raises(ConfigurationError):
+            tradeoff_curve(model, 480.0, max_nodes=0)

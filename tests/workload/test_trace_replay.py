@@ -1,0 +1,91 @@
+"""SWF trace-replay tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.node.calibration import build_node_model
+from repro.node.determinism import DeterminismMode
+from repro.scheduler.backfill import BackfillScheduler, StaticEnvironment
+from repro.workload.trace_replay import jobs_from_swf, load_swf
+
+SAMPLE_SWF = """\
+; SWF sample trace for tests
+; MaxProcs: 2048
+1 0 10 3600 256 -1 -1 256 3600 -1 1 1 1 1 1 -1 -1 -1 -1 -1
+2 120 5 7200 512 -1 -1 512 7200 -1 1 2 1 1 1 -1 -1 -1 -1 -1
+3 300 60 1800 128 -1 -1 128 1800 -1 1 3 2 1 1 -1 -1 -1 -1 -1
+4 300 0 0 128 -1 -1 128 0 -1 0 4 2 1 1 -1 -1 -1 -1 -1
+5 600 12 86400 1024 -1 -1 1024 86400 -1 1 5 3 1 1 -1 -1 -1 -1 -1
+"""
+
+
+@pytest.fixture
+def swf_path(tmp_path):
+    path = tmp_path / "trace.swf"
+    path.write_text(SAMPLE_SWF)
+    return path
+
+
+class TestLoadSwf:
+    def test_parses_valid_jobs(self, swf_path):
+        data, stats = load_swf(swf_path)
+        assert stats.n_jobs == 4  # job 4 has zero runtime/procs -> skipped
+        assert stats.n_skipped == 1
+        assert stats.n_lines == 5
+
+    def test_sorted_by_submit_time(self, swf_path):
+        data, _ = load_swf(swf_path)
+        assert np.all(np.diff(data[:, 1]) >= 0)
+
+    def test_span(self, swf_path):
+        _, stats = load_swf(swf_path)
+        assert stats.t_first_submit_s == 0.0
+        assert stats.t_last_submit_s == 600.0
+        assert stats.span_s == 600.0
+
+    def test_comments_ignored(self, tmp_path):
+        path = tmp_path / "only_comments.swf"
+        path.write_text("; nothing\n; here\n")
+        with pytest.raises(ConfigurationError, match="no usable jobs"):
+            load_swf(path)
+
+    def test_malformed_lines_skipped(self, tmp_path):
+        path = tmp_path / "messy.swf"
+        path.write_text("garbage line\n1 0 1 3600 128 x x x x\n")
+        data, stats = load_swf(path)
+        assert stats.n_jobs == 1
+        assert stats.n_skipped == 1
+
+
+class TestJobsFromSwf:
+    def test_processor_to_node_conversion(self, swf_path, mix):
+        jobs, _ = jobs_from_swf(swf_path, mix, cores_per_node=128)
+        by_id = {j.job_id: j for j in jobs}
+        assert by_id[1].n_nodes == 2  # 256 cores
+        assert by_id[2].n_nodes == 4  # 512 cores
+        assert by_id[3].n_nodes == 1  # 128 cores
+        assert by_id[5].n_nodes == 8  # 1024 cores
+
+    def test_max_nodes_clamp(self, swf_path, mix):
+        jobs, _ = jobs_from_swf(swf_path, mix, cores_per_node=128, max_nodes=2)
+        assert max(j.n_nodes for j in jobs) == 2
+
+    def test_app_assignment_reproducible(self, swf_path, mix):
+        a, _ = jobs_from_swf(swf_path, mix, rng=np.random.default_rng(5))
+        b, _ = jobs_from_swf(swf_path, mix, rng=np.random.default_rng(5))
+        assert [j.app.name for j in a] == [j.app.name for j in b]
+
+    def test_bad_cores_per_node(self, swf_path, mix):
+        with pytest.raises(ConfigurationError):
+            jobs_from_swf(swf_path, mix, cores_per_node=0)
+
+    def test_replay_through_scheduler(self, swf_path, mix):
+        """The round trip the feature exists for: SWF → jobs → simulation."""
+        jobs, _ = jobs_from_swf(swf_path, mix, cores_per_node=128)
+        env = StaticEnvironment(
+            node_model=build_node_model(), mode=DeterminismMode.POWER
+        )
+        result = BackfillScheduler(16).run(jobs, 200_000.0, env)
+        assert len(result.records) == len(jobs)
+        assert result.total_energy_kwh() > 0
