@@ -16,8 +16,15 @@ import numpy as np
 from ..errors import AnalysisError
 from ..facility.inventory import FacilityInventory
 from ..telemetry.series import TimeSeries
+from ..telemetry.streaming import (
+    DEFAULT_CHUNK_SIZE,
+    ChunkedSeriesReader,
+    OnlineStats,
+    P2Quantile,
+    as_chunk_reader,
+)
 
-__all__ = ["BaselineStats", "summarise", "compare_to_inventory"]
+__all__ = ["BaselineStats", "summarise", "summarise_streaming", "compare_to_inventory"]
 
 
 @dataclass(frozen=True)
@@ -60,6 +67,41 @@ def summarise(series: TimeSeries) -> BaselineStats:
         maximum=series.max(),
         n_samples=series.n_valid,
         span_days=series.span_s / 86_400.0,
+    )
+
+
+def summarise_streaming(
+    source: "TimeSeries | str | ChunkedSeriesReader",
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> BaselineStats:
+    """Chunk-fed :func:`summarise`: one pass, chunk-bounded memory.
+
+    Mean, standard deviation, min/max, count and span come from an
+    :class:`OnlineStats` accumulator and match the batch path to float
+    accumulation error; the three percentiles use the P² streaming
+    estimator (exact below five samples, asymptotically accurate beyond).
+    Accepts anything :func:`~repro.telemetry.streaming.as_chunk_reader`
+    does — an in-memory series, a telemetry CSV/NPZ path, or a reader.
+    """
+    reader = as_chunk_reader(source, chunk_size)
+    stats = OnlineStats(name=reader.name)
+    quantiles = [P2Quantile(q) for q in (0.05, 0.5, 0.95)]
+    for chunk in reader:
+        stats.update(chunk.times_s, chunk.values)
+        for estimator in quantiles:
+            estimator.update(chunk.values)
+    if stats.n_valid == 0:
+        raise AnalysisError(f"series {reader.name!r} has no valid samples")
+    return BaselineStats(
+        mean=stats.mean,
+        std=stats.std,
+        p5=quantiles[0].result(),
+        median=quantiles[1].result(),
+        p95=quantiles[2].result(),
+        minimum=stats.minimum,
+        maximum=stats.maximum,
+        n_samples=stats.n_valid,
+        span_days=stats.span_s / 86_400.0,
     )
 
 

@@ -54,6 +54,15 @@ def _block_resample_means(
     rng: np.random.Generator,
 ) -> np.ndarray:
     n = len(values)
+    if n < 2:
+        raise AnalysisError(
+            f"moving-block bootstrap needs at least 2 valid samples "
+            f"(block + 1 for a non-degenerate block), got {n}"
+        )
+    # Clamp so there are always >= 2 possible block starts: block == n would
+    # make every resample the full series (a zero-width CI) and block > n
+    # would hand rng.integers an empty range.
+    block = max(1, min(block, n - 1))
     n_blocks = int(np.ceil(n / block))
     # Start indices for all resamples at once: (n_resamples, n_blocks).
     starts = rng.integers(0, n - block + 1, size=(n_resamples, n_blocks))
@@ -74,6 +83,8 @@ def block_bootstrap_mean(
     ``block`` defaults to ``n^(1/3)`` rounded up — the classic rate-optimal
     choice — but should be at least the sample-count of the signal's
     decorrelation time when known (e.g. job-duration scale / sample interval).
+    A ``block`` equal to the valid sample count is clamped to ``n - 1`` so
+    resampling stays non-degenerate.
     """
     if not 0.0 < confidence < 1.0:
         raise AnalysisError("confidence must be in (0, 1)")
@@ -84,7 +95,10 @@ def block_bootstrap_mean(
     if block is None:
         block = max(2, int(np.ceil(n ** (1.0 / 3.0))))
     if not 1 <= block <= n:
-        raise AnalysisError(f"block must be in [1, {n}], got {block}")
+        raise AnalysisError(
+            f"block must be in [1, {n}] for {n} valid samples, got {block}; "
+            "a block bootstrap needs at least block + 1 samples"
+        )
     means = _block_resample_means(values, block, n_resamples, rng)
     alpha = (1.0 - confidence) / 2.0
     lower, upper = np.quantile(means, [alpha, 1.0 - alpha])

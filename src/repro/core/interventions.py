@@ -27,6 +27,7 @@ from ..node.pstates import FrequencySetting
 from ..scheduler.backfill import ResolvedExecution
 from ..scheduler.frequency_policy import FrequencyPolicy
 from ..telemetry.series import TimeSeries
+from ..telemetry.streaming import OnlineStats
 from ..units import SECONDS_PER_DAY, ensure_nonnegative
 from ..workload.jobs import Job
 
@@ -224,6 +225,6 @@ def assess_impact(
     return InterventionImpact(
         name=name,
         change_time_s=change_time_s,
-        mean_before=before.mean(),
-        mean_after=after.mean(),
+        mean_before=OnlineStats.from_series(before).mean,
+        mean_after=OnlineStats.from_series(after).mean,
     )

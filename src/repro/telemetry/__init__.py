@@ -5,9 +5,23 @@ from .meters import MeterSpec, PowerMeter
 from .quality import Gap, QualityReport, assess_quality, find_flatlines, find_gaps
 from .recorder import CabinetPowerRecorder
 from .series import TimeSeries
+from .streaming import (
+    ChunkedSeriesReader,
+    OnlineStats,
+    P2Quantile,
+    SeriesChunk,
+    as_chunk_reader,
+    stream_stats,
+)
 
 __all__ = [
     "TimeSeries",
+    "OnlineStats",
+    "P2Quantile",
+    "SeriesChunk",
+    "ChunkedSeriesReader",
+    "as_chunk_reader",
+    "stream_stats",
     "MeterSpec",
     "PowerMeter",
     "Gap",

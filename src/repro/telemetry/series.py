@@ -101,11 +101,16 @@ class TimeSeries:
 
         For regular sampling this equals :meth:`mean`; for irregular series
         it is the better estimate of energy-relevant average power. NaN
-        samples contribute neither value nor time.
+        samples contribute neither value nor time. The final sample has no
+        successor, so it is held for the last observed inter-sample interval
+        (timestamp-offset independent, so epoch-second series weight
+        correctly).
         """
         if len(self) == 1:
+            # A sole NaN sample carries no information: NaN propagates.
             return float(self.values[0])
-        durations = np.diff(np.append(self.times_s, self.times_s[-1] * 2 - self.times_s[-2]))
+        intervals = np.diff(self.times_s)
+        durations = np.append(intervals, intervals[-1])
         valid = ~np.isnan(self.values)
         if not np.any(valid):
             return float("nan")
@@ -130,11 +135,15 @@ class TimeSeries:
         """Regular resampling by previous-value hold onto a uniform grid.
 
         NaN gaps propagate: a grid point whose most recent sample is NaN is
-        NaN. The grid starts at the first timestamp.
+        NaN. The grid starts at the first timestamp and covers every whole
+        interval of the span — the point count is computed explicitly so the
+        final grid point is neither dropped nor duplicated when ``span_s``
+        is an exact multiple of ``interval_s``.
         """
         if interval_s <= 0:
             raise SeriesShapeError("interval_s must be positive")
-        grid = np.arange(self.t_start_s, self.t_end_s + interval_s / 2, interval_s)
+        n_steps = int(np.floor(self.span_s / interval_s + 1e-9))
+        grid = self.t_start_s + interval_s * np.arange(n_steps + 1)
         idx = np.searchsorted(self.times_s, grid, side="right") - 1
         idx = np.clip(idx, 0, len(self) - 1)
         return TimeSeries(grid, self.values[idx], self.name)

@@ -59,6 +59,32 @@ class TestBlockBootstrapMean:
         with pytest.raises(AnalysisError):
             block_bootstrap_mean(series, rng)
 
+    def test_block_equal_to_n_not_degenerate(self, rng):
+        """Regression: block == n used to make every resample the full
+        series, collapsing the CI to zero width; it is now clamped."""
+        series = ar1_series(100, 50.0, 5.0, 0.3, rng)
+        interval = block_bootstrap_mean(series, rng, block=100)
+        assert interval.half_width > 0.0
+
+    def test_block_beyond_n_raises_analysis_error(self, rng):
+        """Regression: block > n used to surface as a numpy ValueError from
+        rng.integers; it must be a clear AnalysisError."""
+        series = ar1_series(50, 1.0, 0.1, 0.5, rng)
+        with pytest.raises(AnalysisError, match="block"):
+            block_bootstrap_mean(series, rng, block=51)
+
+    def test_impact_delta_short_segment_clamped(self, rng):
+        """A huge requested block must clamp to the shorter segment rather
+        than degenerate or raise."""
+        values = np.concatenate([np.full(10, 100.0), np.full(200, 80.0)])
+        values += rng.normal(0, 1.0, len(values))
+        series = TimeSeries(900.0 * np.arange(len(values)), values)
+        interval = bootstrap_impact_delta(
+            series, change_time_s=900.0 * 9.5, rng=rng, block=500
+        )
+        assert interval.half_width > 0.0
+        assert interval.estimate == pytest.approx(20.0, abs=3.0)
+
 
 class TestBootstrapImpactDelta:
     def make_step(self, rng, delta=210.0, sigma=40.0, n=2000):

@@ -65,8 +65,33 @@ class TestStatistics:
     def test_time_weighted_mean_irregular(self):
         # 10 W held for 9 s, then 100 W held for 1 s (synthesised final gap).
         series = TimeSeries(np.array([0.0, 9.0]), np.array([10.0, 100.0]))
-        # durations: 9 and 9 (last interval mirrors previous spacing)
+        # durations: 9 and 9 (last sample holds for the last observed interval)
         assert series.time_weighted_mean() == pytest.approx(55.0)
+
+    def test_time_weighted_mean_epoch_timestamps(self):
+        """Regression: the synthetic final interval must not depend on the
+        timestamp origin — epoch-second series used to get a ~50-year tail."""
+        values = np.array([1.0, 2.0, 3.0])
+        offsets = np.array([0.0, 60.0, 120.0])
+        zero_based = TimeSeries(offsets, values)
+        epoch = TimeSeries(1.7e9 + offsets, values)
+        assert epoch.time_weighted_mean() == pytest.approx(2.0)
+        assert epoch.time_weighted_mean() == pytest.approx(
+            zero_based.time_weighted_mean()
+        )
+
+    def test_time_weighted_mean_last_observed_interval(self):
+        # durations: 1, 10, and 10 again for the final sample
+        series = TimeSeries(np.array([0.0, 1.0, 11.0]), np.array([0.0, 10.0, 20.0]))
+        assert series.time_weighted_mean() == pytest.approx(300.0 / 21.0)
+
+    def test_time_weighted_mean_single_nan_is_nan(self):
+        series = TimeSeries(np.array([1.7e9]), np.array([np.nan]))
+        assert np.isnan(series.time_weighted_mean())
+
+    def test_time_weighted_mean_all_nan_is_nan(self):
+        series = TimeSeries(np.arange(3.0), np.full(3, np.nan))
+        assert np.isnan(series.time_weighted_mean())
 
     def test_span_properties(self):
         series = make_series(10, start=100.0, step=50.0)
@@ -100,6 +125,30 @@ class TestTransforms:
     def test_resample_regular_grid(self):
         resampled = make_series(100, step=60.0).resample(600.0)
         np.testing.assert_allclose(np.diff(resampled.times_s), 600.0)
+
+    def test_resample_exact_multiple_keeps_final_point(self):
+        """Regression: when span is an exact multiple of the interval the
+        grid must contain exactly span/interval + 1 points, ending at
+        t_end — independent of float rounding in the endpoint."""
+        series = make_series(10, step=60.0)  # span 540 s
+        resampled = series.resample(60.0)
+        assert len(resampled) == 10
+        assert resampled.times_s[-1] == series.t_end_s
+        resampled = series.resample(540.0)  # interval == span
+        assert len(resampled) == 2
+        assert resampled.times_s[-1] == series.t_end_s
+
+    def test_resample_fractional_interval_grid_count(self):
+        # 0.3 / 0.1 evaluates to 2.999... in float; the count must still be 4.
+        series = TimeSeries(np.array([0.0, 0.1, 0.2, 0.3]), np.arange(4.0))
+        resampled = series.resample(0.1)
+        assert len(resampled) == 4
+
+    def test_resample_never_extends_past_span(self):
+        series = make_series(10, step=60.0)  # span 540 s
+        resampled = series.resample(400.0)  # 540/400 -> grid at 0 and 400 only
+        assert len(resampled) == 2
+        assert resampled.times_s[-1] <= series.t_end_s
 
     def test_rolling_mean_smooths(self, rng):
         times = np.arange(0.0, 1000.0, 1.0)
