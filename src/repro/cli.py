@@ -2,6 +2,10 @@
 
 With no arguments, runs the fast experiments (tables, regimes, A1/A2); pass
 ids (``T1 T2 T3 T4 F1 F2 F3 C1 R1 A1 A2 A3 A4``) or ``all`` to choose.
+
+``python -m repro monitor`` dispatches to the live monitoring subcommand
+(:mod:`repro.live.monitor`), which replays a figure-style telemetry scenario
+through the online pipeline. See ``repro monitor --help``.
 """
 
 from __future__ import annotations
@@ -22,6 +26,11 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Reproduce the ARCHER2 emissions/energy-efficiency case study "
             "(SC 2023) on a simulated facility."
+        ),
+        epilog=(
+            "Subcommands: 'repro monitor' runs the live facility monitoring "
+            "pipeline (online change detection, regime tracking, intervention "
+            "advice); see 'repro monitor --help'."
         ),
     )
     parser.add_argument(
@@ -50,6 +59,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "monitor":
+        from .live.monitor import monitor_main
+
+        return monitor_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.list:
         for exp_id in sorted(REGISTRY):

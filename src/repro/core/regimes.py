@@ -63,7 +63,20 @@ def classify_ci(
     low: float = PAPER_LOW_CI,
     high: float = PAPER_HIGH_CI,
 ) -> Regime:
-    """Classify a carbon intensity against (by default) the paper's bands."""
+    """Classify a carbon intensity against (by default) the paper's bands.
+
+    Boundary semantics are pinned (and regression-tested): both boundaries
+    belong to the *balanced* band, i.e.
+
+    * ``ci < low``          → :attr:`Regime.SCOPE3_DOMINATED`
+    * ``low <= ci <= high`` → :attr:`Regime.BALANCED` (30.0 and 100.0
+      gCO₂/kWh are themselves balanced)
+    * ``ci > high``         → :attr:`Regime.SCOPE2_DOMINATED`
+
+    Every consumer — batch sweeps, :class:`RegimeBand`, and the live
+    :class:`~repro.live.regime.RegimeTracker` — classifies through this
+    function so the semantics cannot drift apart.
+    """
     if ci_g_per_kwh < 0:
         raise ConfigurationError("carbon intensity must be non-negative")
     if low >= high:

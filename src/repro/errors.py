@@ -17,6 +17,7 @@ __all__ = [
     "TelemetryError",
     "SeriesShapeError",
     "AnalysisError",
+    "MonitoringError",
     "ExperimentError",
 ]
 
@@ -55,6 +56,10 @@ class SeriesShapeError(TelemetryError):
 
 class AnalysisError(HpcemError):
     """A measurement-analysis routine received data it cannot analyse."""
+
+
+class MonitoringError(HpcemError):
+    """The live monitoring pipeline was misconfigured or misused."""
 
 
 class ExperimentError(HpcemError):

@@ -1,0 +1,176 @@
+"""Structured alerts and alert sinks for the live monitor.
+
+Every observation the pipeline makes — a closed rollup window, a detected
+mean shift, a regime transition, an operating recommendation — is emitted as
+a typed, frozen alert record rather than a log line, so downstream consumers
+(tests, dashboards, the CLI) can pattern-match on alert classes and fields.
+
+Sinks receive every alert in emission order. :class:`ListAlertSink` collects
+them for programmatic use; :class:`TextAlertSink` renders one human-readable
+line per alert to any writable stream (the ``repro monitor`` CLI's live
+output).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import IO, Protocol
+
+from ..core.regimes import OptimisationTarget, Regime
+from ..units import SECONDS_PER_DAY
+
+__all__ = [
+    "Alert",
+    "RollupAlert",
+    "ChangePointAlert",
+    "RegimeChangeAlert",
+    "Recommendation",
+    "AdviceAlert",
+    "AlertSink",
+    "ListAlertSink",
+    "TextAlertSink",
+    "format_alert",
+]
+
+
+@dataclass(frozen=True)
+class Alert:
+    """Base alert: something observed at ``time_s`` on ``stream``."""
+
+    time_s: float
+    stream: str
+
+
+@dataclass(frozen=True)
+class RollupAlert(Alert):
+    """Summary of one closed tumbling window of a stream."""
+
+    window_start_s: float
+    window_end_s: float
+    n_samples: int
+    n_valid: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    quantiles: tuple[tuple[float, float], ...]
+
+
+@dataclass(frozen=True)
+class ChangePointAlert(Alert):
+    """An online CUSUM alarm: the stream's mean level has shifted."""
+
+    onset_time_s: float
+    level_before: float
+    level_after_estimate: float
+    significance: float
+    direction: int  # +1 level rose, -1 level fell
+
+    @property
+    def delta_estimate(self) -> float:
+        """Estimated shift (after − before), stream units."""
+        return self.level_after_estimate - self.level_before
+
+
+@dataclass(frozen=True)
+class RegimeChangeAlert(Alert):
+    """The carbon-intensity regime tracker committed a transition."""
+
+    previous: Regime | None
+    regime: Regime
+    ci_g_per_kwh: float
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One advised operator action with its estimated effect."""
+
+    action: str
+    description: str
+    expected_delta_kw: float
+    estimated_tco2e_saved_per_year: float
+
+
+@dataclass(frozen=True)
+class AdviceAlert(Alert):
+    """Operating advice for the current regime and detected power level."""
+
+    regime: Regime
+    target: OptimisationTarget
+    recommendations: tuple[Recommendation, ...]
+    note: str
+
+
+class AlertSink(Protocol):
+    """Anything that can receive emitted alerts."""
+
+    def emit(self, alert: Alert) -> None:
+        """Receive one alert, in emission order."""
+        ...
+
+
+class ListAlertSink:
+    """Collects every emitted alert into :attr:`alerts`."""
+
+    def __init__(self) -> None:
+        """Start with an empty collection."""
+        self.alerts: list[Alert] = []
+
+    def emit(self, alert: Alert) -> None:
+        """Append the alert."""
+        self.alerts.append(alert)
+
+    def of_type(self, alert_type: type) -> list[Alert]:
+        """All collected alerts of one class, in emission order."""
+        return [a for a in self.alerts if isinstance(a, alert_type)]
+
+
+class TextAlertSink:
+    """Writes one formatted line per alert to a stream."""
+
+    def __init__(self, stream: IO[str]) -> None:
+        """Write to ``stream`` (e.g. ``sys.stdout``)."""
+        self._stream = stream
+
+    def emit(self, alert: Alert) -> None:
+        """Render and write the alert."""
+        self._stream.write(format_alert(alert) + "\n")
+
+
+def _day(time_s: float) -> str:
+    return f"day {time_s / SECONDS_PER_DAY:6.2f}"
+
+
+def format_alert(alert: Alert) -> str:
+    """One human-readable line for any alert type."""
+    if isinstance(alert, ChangePointAlert):
+        arrow = "rose" if alert.direction > 0 else "fell"
+        return (
+            f"[{_day(alert.time_s)}] CHANGE     {alert.stream}: level {arrow} "
+            f"{alert.level_before:,.0f} -> ~{alert.level_after_estimate:,.0f} "
+            f"(onset {_day(alert.onset_time_s).strip()}, S={alert.significance:.1f})"
+        )
+    if isinstance(alert, RegimeChangeAlert):
+        previous = alert.previous.value if alert.previous else "start"
+        return (
+            f"[{_day(alert.time_s)}] REGIME     {previous} -> {alert.regime.value} "
+            f"(CI {alert.ci_g_per_kwh:.0f} gCO2/kWh)"
+        )
+    if isinstance(alert, AdviceAlert):
+        if alert.recommendations:
+            actions = "; ".join(
+                f"{r.action} ({r.expected_delta_kw:+,.0f} kW, "
+                f"~{r.estimated_tco2e_saved_per_year:,.0f} tCO2e/yr)"
+                for r in alert.recommendations
+            )
+        else:
+            actions = "no power actions advised"
+        return f"[{_day(alert.time_s)}] ADVICE     {alert.note}: {actions}"
+    if isinstance(alert, RollupAlert):
+        quantiles = " ".join(f"p{int(q * 100)}={v:,.0f}" for q, v in alert.quantiles)
+        return (
+            f"[{_day(alert.time_s)}] ROLLUP     {alert.stream}: "
+            f"mean={alert.mean:,.1f} std={alert.std:,.1f} {quantiles} "
+            f"({alert.n_valid}/{alert.n_samples} valid)"
+        )
+    return f"[{_day(alert.time_s)}] ALERT      {alert.stream}"

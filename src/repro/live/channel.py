@@ -1,0 +1,135 @@
+"""Bounded, backpressure-aware channels between sources and processors.
+
+An always-on monitor must not let a slow consumer grow an unbounded queue:
+at facility scale the ingest side can outrun a processor for minutes at a
+time, and "buffer everything" is how monitoring services fall over. A
+:class:`BoundedChannel` holds at most ``capacity_samples`` queued samples;
+when an offered batch does not fit, the configured overflow policy decides
+what is shed, and every shed sample is accounted — the pipeline's metrics
+report drops rather than hiding them.
+
+Policies
+--------
+``drop_oldest``
+    Evict queued batches (oldest first) until the new batch fits. Keeps the
+    monitor current at the cost of history — the right default for alerting.
+``drop_newest``
+    Refuse the incoming batch. Keeps history contiguous at the cost of
+    currency — right for audit-style consumers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..errors import MonitoringError
+from .events import StreamBatch
+
+__all__ = ["BoundedChannel", "OVERFLOW_POLICIES"]
+
+OVERFLOW_POLICIES = ("drop_oldest", "drop_newest")
+
+
+class BoundedChannel:
+    """A FIFO of :class:`StreamBatch` bounded by total queued samples."""
+
+    def __init__(
+        self,
+        name: str,
+        capacity_samples: int = 1 << 18,
+        policy: str = "drop_oldest",
+    ) -> None:
+        """Create an empty channel holding at most ``capacity_samples``."""
+        if capacity_samples < 1:
+            raise MonitoringError(
+                f"capacity_samples must be >= 1, got {capacity_samples}"
+            )
+        if policy not in OVERFLOW_POLICIES:
+            raise MonitoringError(
+                f"unknown overflow policy {policy!r}; choose from {OVERFLOW_POLICIES}"
+            )
+        self.name = name
+        self.capacity_samples = int(capacity_samples)
+        self.policy = policy
+        self._queue: deque[StreamBatch] = deque()
+        self._depth = 0
+        self._high_watermark = 0
+        self._offered = 0
+        self._accepted = 0
+        self._dropped = 0
+
+    # -- producer side ---------------------------------------------------------
+
+    def put(self, batch: StreamBatch) -> bool:
+        """Offer a batch; returns ``True`` iff it was enqueued intact.
+
+        A ``False`` return is backpressure made visible: the producer knows
+        samples were shed (``drop_newest``: the offered batch; ``drop_oldest``:
+        queued history). Shed samples are tallied in :attr:`dropped_samples`.
+        """
+        n = len(batch)
+        self._offered += n
+        if n > self.capacity_samples:
+            # Cannot fit even an empty queue; shed the whole batch.
+            self._dropped += n
+            return False
+        evicted = False
+        if self.policy == "drop_oldest":
+            while self._depth + n > self.capacity_samples:
+                oldest = self._queue.popleft()
+                self._depth -= len(oldest)
+                self._dropped += len(oldest)
+                evicted = True
+        elif self._depth + n > self.capacity_samples:
+            self._dropped += n
+            return False
+        self._queue.append(batch)
+        self._depth += n
+        self._accepted += n
+        self._high_watermark = max(self._high_watermark, self._depth)
+        return not evicted
+
+    # -- consumer side ---------------------------------------------------------
+
+    def get(self) -> StreamBatch | None:
+        """Dequeue the oldest batch, or ``None`` when empty."""
+        if not self._queue:
+            return None
+        batch = self._queue.popleft()
+        self._depth -= len(batch)
+        return batch
+
+    def peek(self) -> StreamBatch | None:
+        """The oldest queued batch without dequeuing it, or ``None``."""
+        return self._queue[0] if self._queue else None
+
+    def __len__(self) -> int:
+        """Number of batches currently queued."""
+        return len(self._queue)
+
+    # -- accounting ------------------------------------------------------------
+
+    @property
+    def depth_samples(self) -> int:
+        """Samples currently queued."""
+        return self._depth
+
+    @property
+    def high_watermark_samples(self) -> int:
+        """Deepest the queue has ever been, in samples."""
+        return self._high_watermark
+
+    @property
+    def offered_samples(self) -> int:
+        """Samples ever offered via :meth:`put`."""
+        return self._offered
+
+    @property
+    def accepted_samples(self) -> int:
+        """Samples ever enqueued (they may later be evicted)."""
+        return self._accepted
+
+    @property
+    def dropped_samples(self) -> int:
+        """Samples shed by the overflow policy."""
+        return self._dropped

@@ -1,0 +1,247 @@
+"""Monitor assembly and the ``repro monitor`` CLI subcommand.
+
+:func:`build_monitor` wires the standard processor set — per-stream
+windowed rollups, the online CUSUM detector on power, the regime tracker
+on carbon intensity, and the intervention advisor — into one pipeline;
+:func:`run_monitor` replays a scenario through it; :func:`monitor_main`
+is the CLI entry (``python -m repro monitor``), which streams alerts as
+they fire and closes with a summary comparing the live detections against
+the batch analysis of the same series.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import dataclass
+
+from ..analysis.changepoint import segment_means
+from ..core.reporting import format_kw, render_table
+from ..units import SECONDS_PER_DAY, SECONDS_PER_HOUR
+from .advisor import AdvisorConfig, InterventionAdvisor
+from .alerts import AdviceAlert, ChangePointAlert, RegimeChangeAlert, TextAlertSink
+from .cusum import CusumConfig, OnlineCusum
+from .events import CI_STREAM, POWER_STREAM, series_batches
+from .pipeline import MonitorPipeline, MonitorReport
+from .processors import WindowedRollup
+from .regime import RegimeTracker, RegimeTrackerConfig
+from .replay import SCENARIO_BUILDERS, MonitorScenario, build_scenario
+
+__all__ = ["MonitorOutcome", "build_monitor", "run_monitor", "monitor_main"]
+
+
+@dataclass(frozen=True)
+class MonitorOutcome:
+    """A completed monitoring run with handles to the stateful stages."""
+
+    scenario: MonitorScenario
+    report: MonitorReport
+    detector: OnlineCusum
+    tracker: RegimeTracker
+    advisor: InterventionAdvisor
+    elapsed_s: float
+
+
+def build_monitor(
+    cusum_config: CusumConfig | None = None,
+    tracker_config: RegimeTrackerConfig | None = None,
+    advisor_config: AdvisorConfig | None = None,
+    rollup_window_s: float = SECONDS_PER_DAY,
+    sinks: tuple = (),
+    channel_capacity_samples: int = 1 << 18,
+    channel_policy: str = "drop_oldest",
+    max_samples_per_drain: int | None = None,
+) -> tuple[MonitorPipeline, OnlineCusum, RegimeTracker, InterventionAdvisor]:
+    """Assemble the standard monitoring pipeline; returns its stages."""
+    detector = OnlineCusum(POWER_STREAM, cusum_config)
+    tracker = RegimeTracker(CI_STREAM, tracker_config)
+    advisor = InterventionAdvisor(config=advisor_config or AdvisorConfig())
+    pipeline = MonitorPipeline(
+        channel_capacity_samples=channel_capacity_samples,
+        channel_policy=channel_policy,
+        max_samples_per_drain=max_samples_per_drain,
+        sinks=sinks,
+    )
+    pipeline.add_processor(detector)
+    pipeline.add_processor(WindowedRollup(POWER_STREAM, window_s=rollup_window_s))
+    pipeline.add_processor(tracker)
+    pipeline.add_processor(WindowedRollup(CI_STREAM, window_s=rollup_window_s))
+    pipeline.set_advisor(advisor)
+    return pipeline, detector, tracker, advisor
+
+
+def run_monitor(
+    scenario: MonitorScenario, batch_size: int = 4096, **monitor_kwargs
+) -> MonitorOutcome:
+    """Replay a scenario through a freshly built monitor."""
+    pipeline, detector, tracker, advisor = build_monitor(**monitor_kwargs)
+    start = time.perf_counter()
+    report = pipeline.run(
+        series_batches(POWER_STREAM, scenario.power_kw, batch_size),
+        series_batches(CI_STREAM, scenario.ci_g_per_kwh, batch_size),
+    )
+    elapsed = time.perf_counter() - start
+    return MonitorOutcome(
+        scenario=scenario,
+        report=report,
+        detector=detector,
+        tracker=tracker,
+        advisor=advisor,
+        elapsed_s=elapsed,
+    )
+
+
+def _summary_table(outcome: MonitorOutcome) -> str:
+    scenario, report = outcome.scenario, outcome.report
+    metrics = report.metrics
+    changes = report.alerts_of(ChangePointAlert)
+    regimes = report.alerts_of(RegimeChangeAlert)
+    advice_alerts = report.alerts_of(AdviceAlert)
+
+    rows = [
+        ["Scenario", f"{scenario.name}: {scenario.description}"],
+        [
+            "Samples in",
+            " + ".join(f"{n:,} {s}" for s, n in sorted(metrics.samples_in.items())),
+        ],
+        ["Samples dropped", f"{metrics.total_samples_dropped:,}"],
+        [
+            "Throughput",
+            f"{metrics.total_samples_in / max(outcome.elapsed_s, 1e-9):,.0f} samples/s",
+        ],
+        ["Watermark", f"day {metrics.watermark_time_s / SECONDS_PER_DAY:.1f}"],
+        [
+            "True changes",
+            ", ".join(f"day {t / SECONDS_PER_DAY:.1f}" for t in scenario.change_times_s)
+            or "none",
+        ],
+    ]
+    for i, alert in enumerate(changes):
+        rows.append(
+            [
+                f"Detected change {i + 1}",
+                f"onset day {alert.onset_time_s / SECONDS_PER_DAY:.1f}, "
+                f"{format_kw(alert.level_before)} -> "
+                f"~{format_kw(alert.level_after_estimate)} kW",
+            ]
+        )
+    for i, segment in enumerate(outcome.detector.segments):
+        rows.append(
+            [
+                f"Live segment {i + 1} mean",
+                f"{format_kw(segment.mean)} kW over {segment.n:,} samples",
+            ]
+        )
+    if changes:
+        onsets = [a.onset_time_s for a in changes]
+        batch = segment_means(scenario.power_kw, onsets)
+        rows.append(
+            [
+                "Batch segment means",
+                ", ".join(f"{format_kw(m)} kW" for m in batch)
+                + " (same series, offline)",
+            ]
+        )
+    rows.append(
+        [
+            "Regime sequence",
+            " -> ".join(a.regime.value for a in regimes) or "none observed",
+        ]
+    )
+    if advice_alerts:
+        last = advice_alerts[-1]
+        actions = (
+            ", ".join(r.action for r in last.recommendations)
+            or "no power actions advised"
+        )
+        rows.append(["Final advice", f"{last.note}; {actions}"])
+    return render_table(
+        ["Quantity", "Value"], rows, title="Live facility monitor summary"
+    )
+
+
+def monitor_main(argv: list[str] | None = None) -> int:
+    """Entry point for ``repro monitor``; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro monitor",
+        description=(
+            "Replay a Figure 1-3 style telemetry scenario through the live "
+            "monitoring pipeline: online change detection on cabinet power, "
+            "regime tracking on grid carbon intensity, and intervention advice."
+        ),
+    )
+    parser.add_argument(
+        "--scenario",
+        choices=sorted(SCENARIO_BUILDERS),
+        default="fig2",
+        help="telemetry scenario to replay (default: fig2)",
+    )
+    parser.add_argument(
+        "--days", type=float, default=None, help="override the scenario duration"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="override the scenario RNG seed"
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=10.0,
+        help="CUSUM alarm threshold h, in sigma units (default: 10)",
+    )
+    parser.add_argument(
+        "--drift",
+        type=float,
+        default=1.0,
+        help="CUSUM drift k, in sigma units (default: 1)",
+    )
+    parser.add_argument(
+        "--warmup",
+        type=int,
+        default=96,
+        help="baseline warm-up samples per segment (default: 96)",
+    )
+    parser.add_argument(
+        "--hysteresis",
+        type=float,
+        default=5.0,
+        help="regime hysteresis margin, gCO2/kWh (default: 5)",
+    )
+    parser.add_argument(
+        "--dwell",
+        type=int,
+        default=3,
+        help="consecutive samples to commit a regime change (default: 3)",
+    )
+    parser.add_argument(
+        "--window-hours",
+        type=float,
+        default=24.0,
+        help="rollup window size, hours (default: 24)",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the live alert feed, print only the summary",
+    )
+    args = parser.parse_args(argv)
+
+    scenario = build_scenario(args.scenario, args.days, args.seed)
+    sinks = () if args.quiet else (TextAlertSink(sys.stdout),)
+    outcome = run_monitor(
+        scenario,
+        cusum_config=CusumConfig(
+            threshold_sigma=args.threshold,
+            drift_sigma=args.drift,
+            warmup_samples=args.warmup,
+        ),
+        tracker_config=RegimeTrackerConfig(
+            hysteresis_g_per_kwh=args.hysteresis, min_dwell_samples=args.dwell
+        ),
+        rollup_window_s=args.window_hours * SECONDS_PER_HOUR,
+        sinks=sinks,
+    )
+    if not args.quiet:
+        print()
+    print(_summary_table(outcome))
+    return 0

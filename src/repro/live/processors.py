@@ -1,0 +1,114 @@
+"""Processor protocol and the windowed statistics rollup stage.
+
+A processor subscribes to one named stream and turns batches into alerts.
+The pipeline owns routing, buffering and alert fan-out; processors own only
+their incremental state, which keeps each one independently testable.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import MonitoringError
+from ..telemetry.streaming import OnlineStats, P2Quantile
+from ..units import SECONDS_PER_DAY
+from .alerts import Alert, RollupAlert
+from .events import StreamBatch
+
+__all__ = ["Processor", "WindowedRollup"]
+
+
+class Processor:
+    """Base class: consume batches of one stream, emit alerts."""
+
+    def __init__(self, stream: str) -> None:
+        """Subscribe to ``stream``."""
+        self.stream = stream
+
+    def process(self, batch: StreamBatch) -> list[Alert]:
+        """Absorb one batch; return any alerts it triggered."""
+        raise NotImplementedError
+
+    def finish(self) -> list[Alert]:
+        """Flush end-of-stream state; return any final alerts."""
+        return []
+
+
+class WindowedRollup(Processor):
+    """Tumbling-window statistics over one stream.
+
+    Each ``window_s``-wide window (aligned to multiples of ``window_s``)
+    accumulates an :class:`~repro.telemetry.streaming.OnlineStats` and one
+    :class:`~repro.telemetry.streaming.P2Quantile` per requested quantile,
+    all in O(1) memory. When a sample lands past the current window the
+    closed window is emitted as a :class:`~repro.live.alerts.RollupAlert` —
+    the monitor's always-on answer to "what did the last day look like".
+    """
+
+    def __init__(
+        self,
+        stream: str,
+        window_s: float = SECONDS_PER_DAY,
+        quantiles: tuple[float, ...] = (0.05, 0.5, 0.95),
+    ) -> None:
+        """Roll ``stream`` up into ``window_s`` tumbling windows."""
+        super().__init__(stream)
+        if window_s <= 0:
+            raise MonitoringError(f"window_s must be positive, got {window_s}")
+        self.window_s = float(window_s)
+        self.quantile_levels = tuple(quantiles)
+        self._window_index: int | None = None
+        self._stats = OnlineStats()
+        self._quantiles = [P2Quantile(q) for q in self.quantile_levels]
+        self.windows_closed = 0
+
+    def process(self, batch: StreamBatch) -> list[Alert]:
+        """Split the batch at window boundaries and accumulate each part."""
+        alerts: list[Alert] = []
+        times, values = batch.times_s, batch.values
+        indices = np.floor_divide(times, self.window_s).astype(int)
+        lo = 0
+        while lo < len(times):
+            index = int(indices[lo])
+            hi = int(np.searchsorted(indices, index, side="right"))
+            if self._window_index is not None and index != self._window_index:
+                alerts.append(self._close_window())
+            if self._window_index is None:
+                self._window_index = index
+            self._stats.update(times[lo:hi], values[lo:hi])
+            for tracker in self._quantiles:
+                tracker.update(values[lo:hi])
+            lo = hi
+        return alerts
+
+    def finish(self) -> list[Alert]:
+        """Close the final, possibly partial, window."""
+        if self._window_index is None or self._stats.n_total == 0:
+            return []
+        return [self._close_window()]
+
+    def _close_window(self) -> RollupAlert:
+        stats, index = self._stats, self._window_index
+        alert = RollupAlert(
+            time_s=stats.t_end_s,
+            stream=self.stream,
+            window_start_s=index * self.window_s,
+            window_end_s=(index + 1) * self.window_s,
+            n_samples=stats.n_total,
+            n_valid=stats.n_valid,
+            mean=stats.mean,
+            std=stats.std if stats.n_valid else math.nan,
+            minimum=stats.minimum,
+            maximum=stats.maximum,
+            quantiles=tuple(
+                (q, tracker.result())
+                for q, tracker in zip(self.quantile_levels, self._quantiles)
+            ),
+        )
+        self.windows_closed += 1
+        self._window_index = None
+        self._stats = OnlineStats()
+        self._quantiles = [P2Quantile(q) for q in self.quantile_levels]
+        return alert

@@ -1,0 +1,141 @@
+"""Live carbon-intensity regime tracking with hysteresis and debounce.
+
+The paper's §2 rule partitions operation at 30 and 100 gCO₂/kWh. Applied
+naively to a live CI feed, those thresholds *flap*: UK-shaped CI regularly
+chatters around a boundary for hours, and each crossing would re-advise the
+operator. The tracker therefore commits a transition only when
+
+* the sample classifies into a different regime even after the band
+  boundaries are shifted ``hysteresis_g_per_kwh`` *away* from the current
+  regime (a sticky band), **and**
+* ``min_dwell_samples`` consecutive samples agree (debounce).
+
+Classification itself is delegated to :func:`repro.core.regimes.classify_ci`
+with shifted boundaries — the batch rule stays the single source of truth
+for boundary semantics (`< low` / `low ≤ ci ≤ high` / `> high`), and with
+``hysteresis_g_per_kwh=0`` and ``min_dwell_samples=1`` the tracker's
+transition sequence is exactly the batch per-sample sequence.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.regimes import PAPER_HIGH_CI, PAPER_LOW_CI, Regime, classify_ci
+from ..errors import MonitoringError
+from .alerts import Alert, RegimeChangeAlert
+from .events import StreamBatch
+from .processors import Processor
+
+__all__ = ["RegimeTrackerConfig", "RegimeTracker"]
+
+
+@dataclass(frozen=True)
+class RegimeTrackerConfig:
+    """Tuning of the live regime tracker.
+
+    ``hysteresis_g_per_kwh`` widens the current regime's band on exit;
+    ``min_dwell_samples`` is how many consecutive samples must agree before
+    a transition commits. Both default to values that suppress boundary
+    chatter at UK CI volatility without delaying genuine transitions by
+    more than a few samples.
+    """
+
+    low_ci_g_per_kwh: float = PAPER_LOW_CI
+    high_ci_g_per_kwh: float = PAPER_HIGH_CI
+    hysteresis_g_per_kwh: float = 5.0
+    min_dwell_samples: int = 3
+
+    def __post_init__(self) -> None:
+        if self.low_ci_g_per_kwh >= self.high_ci_g_per_kwh:
+            raise MonitoringError("low boundary must be below high boundary")
+        half_band = (self.high_ci_g_per_kwh - self.low_ci_g_per_kwh) / 2
+        if not 0 <= self.hysteresis_g_per_kwh < half_band:
+            raise MonitoringError(
+                "hysteresis_g_per_kwh must be in [0, half the band width)"
+            )
+        if self.min_dwell_samples < 1:
+            raise MonitoringError("min_dwell_samples must be at least 1")
+
+
+class RegimeTracker(Processor):
+    """Tracks the §2 regime of a live CI stream without boundary flapping."""
+
+    def __init__(self, stream: str, config: RegimeTrackerConfig | None = None) -> None:
+        """Track regimes on ``stream`` under ``config``."""
+        super().__init__(stream)
+        self.config = config or RegimeTrackerConfig()
+        self.current: Regime | None = None
+        self._pending_regime: Regime | None = None
+        self._pending_count = 0
+        self._pending_time_s = math.nan
+        self._pending_ci = math.nan
+        self.transitions: list[RegimeChangeAlert] = []
+        self.nan_samples = 0
+
+    def _sticky_bounds(self, current: Regime) -> tuple[float, float]:
+        """Band boundaries shifted away from the current regime."""
+        cfg = self.config
+        low, high, h = cfg.low_ci_g_per_kwh, cfg.high_ci_g_per_kwh, cfg.hysteresis_g_per_kwh
+        if current is Regime.SCOPE3_DOMINATED:
+            return low + h, high + h
+        if current is Regime.SCOPE2_DOMINATED:
+            return low - h, high - h
+        return low - h, high + h
+
+    def process(self, batch: StreamBatch) -> list[Alert]:
+        """Absorb CI samples; return committed regime transitions."""
+        alerts: list[Alert] = []
+        cfg = self.config
+        for time_s, ci in zip(batch.times_s.tolist(), batch.values.tolist()):
+            if math.isnan(ci):
+                self.nan_samples += 1
+                continue
+            if self.current is None:
+                self.current = classify_ci(
+                    ci, cfg.low_ci_g_per_kwh, cfg.high_ci_g_per_kwh
+                )
+                alerts.append(self._commit(None, self.current, time_s, ci))
+                continue
+            candidate = classify_ci(ci, *self._sticky_bounds(self.current))
+            if candidate is self.current:
+                self._pending_regime = None
+                self._pending_count = 0
+                continue
+            if candidate is not self._pending_regime:
+                self._pending_regime = candidate
+                self._pending_count = 1
+                self._pending_time_s = time_s
+                self._pending_ci = ci
+            else:
+                self._pending_count += 1
+            if self._pending_count >= cfg.min_dwell_samples:
+                previous = self.current
+                self.current = candidate
+                alerts.append(
+                    self._commit(
+                        previous, candidate, self._pending_time_s, self._pending_ci
+                    )
+                )
+                self._pending_regime = None
+                self._pending_count = 0
+        return alerts
+
+    def _commit(
+        self, previous: Regime | None, regime: Regime, time_s: float, ci: float
+    ) -> RegimeChangeAlert:
+        alert = RegimeChangeAlert(
+            time_s=time_s,
+            stream=self.stream,
+            previous=previous,
+            regime=regime,
+            ci_g_per_kwh=ci,
+        )
+        self.transitions.append(alert)
+        return alert
+
+    @property
+    def regime_sequence(self) -> list[Regime]:
+        """Committed regimes in order (initial classification first)."""
+        return [t.regime for t in self.transitions]

@@ -86,9 +86,14 @@ class PowerMeter:
     def _measure(
         self, times: np.ndarray, truth: np.ndarray, rng: np.random.Generator
     ) -> TimeSeries:
+        # Invariant: a dropped sample stays dropped. Noise and quantisation
+        # both propagate NaN, and dropout is applied last, so neither stage
+        # can resurrect a NaN — and NaNs already present in the truth signal
+        # survive to the measured series.
         noisy = truth * (1.0 + rng.normal(0.0, self.spec.noise_fraction, size=truth.shape))
         if self.spec.quantisation_w > 0:
             noisy = np.round(noisy / self.spec.quantisation_w) * self.spec.quantisation_w
+            noisy = np.where(np.isnan(truth), np.nan, noisy)
         if self.spec.dropout_probability > 0:
             lost = rng.random(noisy.shape) < self.spec.dropout_probability
             noisy = np.where(lost, np.nan, noisy)

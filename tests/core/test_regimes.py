@@ -31,6 +31,36 @@ class TestPaperClassifier:
     def test_high_ci_scope2_dominated(self):
         assert classify_ci(190.0) is Regime.SCOPE2_DOMINATED
 
+    def test_just_below_30_is_scope3(self):
+        """The boundary is pinned at exactly 30.0: one ULP below is scope 3."""
+        import numpy as np
+
+        assert classify_ci(float(np.nextafter(30.0, 0.0))) is Regime.SCOPE3_DOMINATED
+
+    def test_just_above_100_is_scope2(self):
+        """The boundary is pinned at exactly 100.0: one ULP above is scope 2."""
+        import numpy as np
+
+        assert classify_ci(float(np.nextafter(100.0, 200.0))) is Regime.SCOPE2_DOMINATED
+
+    def test_live_tracker_shares_boundary_semantics(self):
+        """The live RegimeTracker classifies through classify_ci — both
+        boundaries are balanced there too (single source of truth)."""
+        import numpy as np
+
+        from repro.live.events import CI_STREAM, StreamBatch
+        from repro.live.regime import RegimeTracker, RegimeTrackerConfig
+
+        for boundary in (30.0, 100.0):
+            tracker = RegimeTracker(
+                CI_STREAM,
+                RegimeTrackerConfig(hysteresis_g_per_kwh=0.0, min_dwell_samples=1),
+            )
+            tracker.process(
+                StreamBatch(CI_STREAM, np.array([0.0]), np.array([boundary]))
+            )
+            assert tracker.current is Regime.BALANCED
+
     def test_negative_ci_rejected(self):
         with pytest.raises(ConfigurationError):
             classify_ci(-1.0)

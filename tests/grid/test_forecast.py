@@ -89,3 +89,45 @@ class TestEvaluate:
         other = TimeSeries(history.times_s + 1.0, history.values)
         with pytest.raises(AnalysisError):
             evaluate_forecast(history, other)
+
+
+class TestEvaluateMisaligned:
+    """Forecast and realised series rarely share a grid in practice: the
+    forecast runs at its own cadence while telemetry arrives on another.
+    evaluate_forecast scores on the shared-timestamp subset only."""
+
+    def test_coarser_realised_cadence_uses_shared_subset(self):
+        times_fine = np.arange(0.0, 48 * 3600.0, 1800.0)
+        forecast = TimeSeries(times_fine, np.full(len(times_fine), 100.0))
+        times_coarse = times_fine[::2]  # hourly realised vs half-hourly forecast
+        realised = TimeSeries(times_coarse, np.full(len(times_coarse), 110.0))
+        skill = evaluate_forecast(forecast, realised)
+        assert skill.mae_g_per_kwh == pytest.approx(10.0)
+        assert skill.rmse_g_per_kwh == pytest.approx(10.0)
+
+    def test_partial_overlap_scores_only_the_overlap(self):
+        times = np.arange(0.0, 24 * 3600.0, 3600.0)
+        forecast = TimeSeries(times, np.full(len(times), 100.0))
+        shifted = times + 12 * 3600.0  # second half overlaps, first half beyond
+        errors = np.where(shifted < 24 * 3600.0, 5.0, 1000.0)
+        realised = TimeSeries(shifted, np.full(len(times), 100.0) + errors)
+        skill = evaluate_forecast(forecast, realised)
+        # Only the 12 overlapping hours score; the +1000 tail is ignored.
+        assert skill.mae_g_per_kwh == pytest.approx(5.0)
+
+    def test_offset_grids_share_nothing(self):
+        """Same cadence, phase-shifted by one second: no shared stamps."""
+        times = np.arange(0.0, 24 * 3600.0, 3600.0)
+        forecast = TimeSeries(times, np.full(len(times), 100.0))
+        realised = TimeSeries(times + 1.0, np.full(len(times), 100.0))
+        with pytest.raises(AnalysisError):
+            evaluate_forecast(forecast, realised)
+
+    def test_all_nan_overlap_rejected(self):
+        """Shared stamps whose realised values are all NaN cannot score."""
+        times = np.arange(0.0, 10 * 3600.0, 3600.0)
+        forecast = TimeSeries(times, np.full(len(times), 100.0))
+        realised_values = np.full(len(times), np.nan)
+        realised = TimeSeries(times, realised_values)
+        with pytest.raises(AnalysisError):
+            evaluate_forecast(forecast, realised)

@@ -1,0 +1,128 @@
+"""Online CUSUM detector unit tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MonitoringError
+from repro.live.cusum import CusumConfig, OnlineCusum
+from repro.live.events import POWER_STREAM, StreamBatch
+
+
+def feed(detector, times, values, chunk=256):
+    alerts = []
+    for lo in range(0, len(times), chunk):
+        batch = StreamBatch(POWER_STREAM, times[lo : lo + chunk], values[lo : lo + chunk])
+        alerts.extend(detector.process(batch))
+    return alerts
+
+
+def step_signal(rng, n_before=600, n_after=600, level=3220.0, delta=-210.0, sigma=32.0):
+    n = n_before + n_after
+    times = 900.0 * np.arange(n)
+    values = np.full(n, level) + sigma * rng.standard_normal(n)
+    values[n_before:] += delta
+    return times, values
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        config = CusumConfig()
+        assert config.threshold_sigma > 0
+        assert config.drift_sigma >= 0
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(MonitoringError):
+            CusumConfig(threshold_sigma=0.0)
+
+    def test_negative_drift_rejected(self):
+        with pytest.raises(MonitoringError):
+            CusumConfig(drift_sigma=-0.1)
+
+    def test_tiny_warmup_rejected(self):
+        with pytest.raises(MonitoringError):
+            CusumConfig(warmup_samples=2)
+
+
+class TestDetection:
+    def test_no_alarm_on_steady_noise(self, rng):
+        detector = OnlineCusum(POWER_STREAM)
+        times = 900.0 * np.arange(5000)
+        values = 3220.0 + 32.0 * rng.standard_normal(5000)
+        assert feed(detector, times, values) == []
+        assert detector.armed
+
+    def test_not_armed_before_warmup(self):
+        detector = OnlineCusum(POWER_STREAM, CusumConfig(warmup_samples=50))
+        feed(detector, 900.0 * np.arange(10), np.full(10, 3220.0))
+        assert not detector.armed
+
+    def test_downward_step_detected(self, rng):
+        times, values = step_signal(rng)
+        detector = OnlineCusum(POWER_STREAM)
+        alerts = feed(detector, times, values)
+        assert len(alerts) == 1
+        alert = alerts[0]
+        assert alert.direction == -1
+        assert alert.delta_estimate < 0
+        # Onset within a handful of samples of the true step at index 600.
+        assert abs(alert.onset_time_s - times[600]) <= 5 * 900.0
+        assert alert.level_before == pytest.approx(3220.0, rel=0.01)
+        assert alert.significance > detector.config.threshold_sigma
+
+    def test_upward_step_detected(self, rng):
+        times, values = step_signal(rng, delta=+210.0)
+        alerts = feed(OnlineCusum(POWER_STREAM), times, values)
+        assert len(alerts) == 1
+        assert alerts[0].direction == +1
+        assert alerts[0].delta_estimate > 0
+
+    def test_nan_samples_skipped_and_counted(self, rng):
+        times, values = step_signal(rng)
+        values[::50] = np.nan
+        detector = OnlineCusum(POWER_STREAM)
+        alerts = feed(detector, times, values)
+        assert len(alerts) == 1
+        assert detector.nan_samples == np.isnan(values).sum()
+
+    def test_segments_bracket_the_step(self, rng):
+        times, values = step_signal(rng)
+        detector = OnlineCusum(POWER_STREAM)
+        feed(detector, times, values)
+        detector.finish()
+        segments = detector.segments
+        assert len(segments) == 2
+        assert segments[0].mean == pytest.approx(3220.0, rel=0.01)
+        assert segments[1].mean == pytest.approx(3010.0, rel=0.01)
+        assert segments[0].n + segments[1].n == len(values)
+        assert segments[0].end_time_s <= segments[1].start_time_s
+
+    def test_segment_means_match_batch_split(self, rng):
+        """Reset-on-alarm attributes run samples to the *new* segment, so
+        per-segment means equal the batch means at the detected onset."""
+        times, values = step_signal(rng)
+        detector = OnlineCusum(POWER_STREAM)
+        alerts = feed(detector, times, values)
+        detector.finish()
+        onset = alerts[0].onset_time_s
+        before = values[times < onset]
+        after = values[times >= onset]
+        assert detector.segments[0].mean == pytest.approx(before.mean(), rel=1e-12)
+        assert detector.segments[1].mean == pytest.approx(after.mean(), rel=1e-12)
+
+    def test_finish_idempotent(self, rng):
+        times, values = step_signal(rng, n_before=200, n_after=0)
+        detector = OnlineCusum(POWER_STREAM)
+        feed(detector, times, values)
+        detector.finish()
+        detector.finish()
+        assert len(detector.segments) == 1
+
+    def test_zero_variance_baseline_survives(self):
+        """A constant baseline must arm (sigma floored) without crashing."""
+        detector = OnlineCusum(POWER_STREAM, CusumConfig(warmup_samples=8))
+        times = 900.0 * np.arange(40)
+        values = np.full(40, 3220.0)
+        values[20:] = 3000.0
+        alerts = feed(detector, times, values)
+        assert len(alerts) >= 1
+        assert alerts[0].direction == -1

@@ -50,6 +50,34 @@ class TestPowerMeter:
         series = meter.sample_function(lambda t: np.full_like(t, 1234.0), 0.0, 9000.0, rng)
         np.testing.assert_allclose(series.values % 100.0, 0.0)
 
+    def test_quantisation_never_resurrects_dropped_samples(self, rng):
+        """With dropout and quantisation both active, every NaN the meter
+        records must survive the quantisation stage — a dropped sample is
+        data that never existed, and rounding must not invent it."""
+        meter = PowerMeter(
+            MeterSpec(dropout_probability=0.3, quantisation_w=100.0)
+        )
+        series = meter.sample_function(
+            lambda t: np.full_like(t, 1e6), 0.0, 900.0 * 2000, rng
+        )
+        nan_mask = np.isnan(series.values)
+        assert nan_mask.any()  # dropouts occurred
+        assert np.all(series.values[~nan_mask] % 100.0 == 0.0)  # rest quantised
+
+    def test_nan_in_truth_survives_measurement(self, rng):
+        """NaN already present in the truth signal (an instrument gap) must
+        come out NaN, not be rounded into a number."""
+        meter = PowerMeter(MeterSpec(quantisation_w=100.0, dropout_probability=0.0))
+
+        def gappy_truth(times):
+            truth = np.full_like(times, 1e6)
+            truth[::7] = np.nan
+            return truth
+
+        series = meter.sample_function(gappy_truth, 0.0, 900.0 * 700, rng)
+        assert np.isnan(series.values[::7]).all()
+        assert not np.isnan(np.delete(series.values, np.s_[::7])).any()
+
     def test_empty_span_rejected(self, rng):
         meter = PowerMeter(MeterSpec())
         with pytest.raises(TelemetryError):

@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.interconnect",
     "repro.core",
     "repro.analysis",
+    "repro.live",
     "repro.experiments",
 ]
 
