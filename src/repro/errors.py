@@ -18,6 +18,7 @@ __all__ = [
     "SeriesShapeError",
     "AnalysisError",
     "MonitoringError",
+    "CheckpointError",
     "ExperimentError",
 ]
 
@@ -60,6 +61,10 @@ class AnalysisError(HpcemError):
 
 class MonitoringError(HpcemError):
     """The live monitoring pipeline was misconfigured or misused."""
+
+
+class CheckpointError(MonitoringError):
+    """A pipeline checkpoint could not be written, read, or applied."""
 
 
 class ExperimentError(HpcemError):

@@ -15,6 +15,13 @@ series, this package runs the paper's operational loop continuously over
 * :mod:`~repro.live.advisor` — §4/§5 intervention advice from regime +
   detected power level;
 * :mod:`~repro.live.pipeline` — the event loop tying them together;
+* :mod:`~repro.live.faults` — seeded chaos injection (dropouts, stalls,
+  duplicates, reordering, clock skew, spikes, truncation) for resilience
+  testing;
+* :mod:`~repro.live.supervisor` / :mod:`~repro.live.checkpoint` — the
+  fault-tolerant supervised pipeline: dead-lettering, crash isolation with
+  backoff and quarantine, staleness watchdogs with degraded-mode advice,
+  and bit-identical checkpoint/resume;
 * :mod:`~repro.live.replay` / :mod:`~repro.live.monitor` — Figure 1–3
   style scenarios and the ``repro monitor`` CLI.
 """
@@ -25,7 +32,11 @@ from .alerts import (
     Alert,
     AlertSink,
     ChangePointAlert,
+    DataGapAlert,
+    DeadLetterAlert,
+    DegradedModeAlert,
     ListAlertSink,
+    ProcessorCrashAlert,
     Recommendation,
     RegimeChangeAlert,
     RollupAlert,
@@ -33,6 +44,13 @@ from .alerts import (
     format_alert,
 )
 from .channel import BoundedChannel
+from .checkpoint import (
+    CHECKPOINT_VERSION,
+    alert_from_dict,
+    alert_to_dict,
+    load_checkpoint,
+    save_checkpoint,
+)
 from .cusum import CusumConfig, OnlineCusum, Segment
 from .events import (
     CI_STREAM,
@@ -40,6 +58,19 @@ from .events import (
     StreamBatch,
     merge_batches,
     series_batches,
+)
+from .faults import (
+    FAULT_NAMES,
+    ClockSkewInjector,
+    DropoutInjector,
+    DuplicateInjector,
+    FaultInjector,
+    ReorderInjector,
+    SpikeInjector,
+    StallInjector,
+    TruncateInjector,
+    apply_faults,
+    chaos_chain,
 )
 from .monitor import MonitorOutcome, build_monitor, monitor_main, run_monitor
 from .pipeline import MonitorPipeline, MonitorReport, PipelineMetrics
@@ -54,7 +85,9 @@ from .replay import (
     figure3_scenario,
     piecewise_power_scenario,
     regime_sweep_scenario,
+    scenario_sources,
 )
+from .supervisor import DeadLetterStore, SupervisedPipeline, SupervisorConfig
 
 __all__ = [
     # events
@@ -72,6 +105,10 @@ __all__ = [
     "RegimeChangeAlert",
     "Recommendation",
     "AdviceAlert",
+    "DataGapAlert",
+    "ProcessorCrashAlert",
+    "DeadLetterAlert",
+    "DegradedModeAlert",
     "AlertSink",
     "ListAlertSink",
     "TextAlertSink",
@@ -95,6 +132,28 @@ __all__ = [
     "MonitorPipeline",
     "MonitorReport",
     "PipelineMetrics",
+    # faults
+    "FaultInjector",
+    "DropoutInjector",
+    "StallInjector",
+    "DuplicateInjector",
+    "ReorderInjector",
+    "ClockSkewInjector",
+    "SpikeInjector",
+    "TruncateInjector",
+    "FAULT_NAMES",
+    "apply_faults",
+    "chaos_chain",
+    # checkpoint
+    "CHECKPOINT_VERSION",
+    "alert_to_dict",
+    "alert_from_dict",
+    "save_checkpoint",
+    "load_checkpoint",
+    # supervisor
+    "SupervisorConfig",
+    "DeadLetterStore",
+    "SupervisedPipeline",
     # replay
     "MonitorScenario",
     "piecewise_power_scenario",
@@ -104,6 +163,7 @@ __all__ = [
     "regime_sweep_scenario",
     "SCENARIO_BUILDERS",
     "build_scenario",
+    "scenario_sources",
     # monitor
     "MonitorOutcome",
     "build_monitor",

@@ -18,7 +18,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-from ..core.regimes import Regime, advice
+from ..core.regimes import OptimisationTarget, Regime, advice
 from ..errors import MonitoringError
 from ..units import SECONDS_PER_YEAR, g_to_tonnes
 from .alerts import (
@@ -69,17 +69,27 @@ class AdvisorConfig:
     nearest rung to infer which actions remain pending.
     ``level_tolerance_fraction`` bounds how far a detected level may sit
     from a rung before the advisor refuses to attribute it.
+    ``degraded_policy`` selects what happens while the supervisor holds the
+    advisor in degraded mode (a watched stream is stale): ``"flag"`` keeps
+    advising but marks every alert ``confidence="degraded"``; ``"suppress"``
+    emits no advice until the inputs are fresh again.
     """
 
     baseline_power_kw: float = 3220.0
     actions: tuple[ActionSpec, ...] = PAPER_ACTIONS
     level_tolerance_fraction: float = 0.04
+    degraded_policy: str = "flag"
 
     def __post_init__(self) -> None:
         if self.baseline_power_kw <= 0:
             raise MonitoringError("baseline_power_kw must be positive")
         if not 0 < self.level_tolerance_fraction < 1:
             raise MonitoringError("level_tolerance_fraction must be in (0, 1)")
+        if self.degraded_policy not in ("flag", "suppress"):
+            raise MonitoringError(
+                f"degraded_policy must be 'flag' or 'suppress', "
+                f"got {self.degraded_policy!r}"
+            )
 
     def expected_levels_kw(self) -> list[float]:
         """The level ladder: baseline, then cumulative post-action levels."""
@@ -97,7 +107,16 @@ class InterventionAdvisor:
     regime: Regime | None = None
     ci_g_per_kwh: float = math.nan
     level_kw: float = math.nan
+    degraded: bool = False
     _last_emitted: tuple | None = None
+
+    def set_degraded(self, degraded: bool) -> None:
+        """Flip degraded mode (driven by the supervisor's staleness watchdogs).
+
+        While degraded, advice follows ``config.degraded_policy``: it is
+        either suppressed entirely or emitted with ``confidence="degraded"``.
+        """
+        self.degraded = bool(degraded)
 
     def observe(self, alert: Alert) -> list[AdviceAlert]:
         """Update state from one alert; return any fresh advice."""
@@ -139,6 +158,9 @@ class InterventionAdvisor:
         return cfg.actions[nearest:]
 
     def _advise(self, time_s: float) -> list[AdviceAlert]:
+        if self.degraded and self.config.degraded_policy == "suppress":
+            return []
+        confidence = "degraded" if self.degraded else "normal"
         target = advice(self.regime)
         pending = self.pending_actions()
         if self.regime is Regime.SCOPE3_DOMINATED:
@@ -155,7 +177,7 @@ class InterventionAdvisor:
                 note = "scope-2 dominated: maximise energy efficiency"
             else:
                 note = "balanced band: weigh energy savings against performance"
-        signature = (self.regime, target, tuple(a.key for a in pending))
+        signature = (self.regime, target, tuple(a.key for a in pending), confidence)
         if signature == self._last_emitted:
             return []
         self._last_emitted = signature
@@ -167,8 +189,44 @@ class InterventionAdvisor:
                 target=target,
                 recommendations=recommendations,
                 note=note,
+                confidence=confidence,
             )
         ]
+
+    # -- persistence -----------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Snapshot the advisor's regime/CI/level estimates and dedup state."""
+        last = self._last_emitted
+        return {
+            "regime": self.regime.value if self.regime else None,
+            "ci_g_per_kwh": self.ci_g_per_kwh,
+            "level_kw": self.level_kw,
+            "degraded": self.degraded,
+            "last_emitted": (
+                [last[0].value, last[1].value, list(last[2]), last[3]]
+                if last is not None
+                else None
+            ),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        self.regime = Regime(state["regime"]) if state["regime"] else None
+        self.ci_g_per_kwh = state["ci_g_per_kwh"]
+        self.level_kw = state["level_kw"]
+        self.degraded = state["degraded"]
+        last = state["last_emitted"]
+        self._last_emitted = (
+            (
+                Regime(last[0]),
+                OptimisationTarget(last[1]),
+                tuple(last[2]),
+                last[3],
+            )
+            if last is not None
+            else None
+        )
 
     def _recommend(self, action: ActionSpec) -> Recommendation:
         saving_kw = -action.expected_delta_kw

@@ -26,6 +26,10 @@ __all__ = [
     "RegimeChangeAlert",
     "Recommendation",
     "AdviceAlert",
+    "DataGapAlert",
+    "ProcessorCrashAlert",
+    "DeadLetterAlert",
+    "DegradedModeAlert",
     "AlertSink",
     "ListAlertSink",
     "TextAlertSink",
@@ -93,12 +97,72 @@ class Recommendation:
 
 @dataclass(frozen=True)
 class AdviceAlert(Alert):
-    """Operating advice for the current regime and detected power level."""
+    """Operating advice for the current regime and detected power level.
+
+    ``confidence`` is ``"normal"`` while every input stream is fresh and
+    ``"degraded"`` while the supervisor has the advisor in degraded mode
+    (a watched stream is stale, so the regime/level estimates may be old).
+    """
 
     regime: Regime
     target: OptimisationTarget
     recommendations: tuple[Recommendation, ...]
     note: str
+    confidence: str = "normal"
+
+
+@dataclass(frozen=True)
+class DataGapAlert(Alert):
+    """A staleness watchdog tripped: ``stream`` has gone quiet.
+
+    ``last_seen_s`` is the stream's last observed timestamp; ``gap_s`` is how
+    far the rest of the telemetry has advanced past it when the watchdog
+    fired (or, for ``recovered`` alerts, the total span of the gap).
+    """
+
+    last_seen_s: float
+    gap_s: float
+    recovered: bool = False
+
+
+@dataclass(frozen=True)
+class ProcessorCrashAlert(Alert):
+    """A processor raised while handling a batch and was crash-isolated.
+
+    The pipeline survives: the supervisor records the failure, schedules a
+    restart after an exponential backoff (``retry_at_s``, stream time), and
+    after too many crashes quarantines the processor permanently
+    (``quarantined=True``, ``retry_at_s=inf``).
+    """
+
+    processor: str
+    error: str
+    crashes: int
+    retry_at_s: float
+    quarantined: bool
+
+
+@dataclass(frozen=True)
+class DeadLetterAlert(Alert):
+    """A batch was rejected at admission and routed to the dead-letter store."""
+
+    reason: str
+    n_samples: int
+    t_start_s: float
+    t_end_s: float
+
+
+@dataclass(frozen=True)
+class DegradedModeAlert(Alert):
+    """The advisor entered (or left) degraded mode.
+
+    While degraded, advice is confidence-flagged or suppressed (per
+    ``AdvisorConfig.degraded_policy``) because ``stale_streams`` stopped
+    producing telemetry.
+    """
+
+    entered: bool
+    stale_streams: tuple[str, ...]
 
 
 class AlertSink(Protocol):
@@ -165,7 +229,36 @@ def format_alert(alert: Alert) -> str:
             )
         else:
             actions = "no power actions advised"
-        return f"[{_day(alert.time_s)}] ADVICE     {alert.note}: {actions}"
+        flag = "" if alert.confidence == "normal" else f" [{alert.confidence.upper()}]"
+        return f"[{_day(alert.time_s)}] ADVICE{flag}     {alert.note}: {actions}"
+    if isinstance(alert, DataGapAlert):
+        state = "recovered after" if alert.recovered else "stale for"
+        return (
+            f"[{_day(alert.time_s)}] DATA GAP   {alert.stream}: {state} "
+            f"{alert.gap_s / 3600.0:.1f} h (last sample {_day(alert.last_seen_s).strip()})"
+        )
+    if isinstance(alert, ProcessorCrashAlert):
+        fate = (
+            "QUARANTINED"
+            if alert.quarantined
+            else f"restart at {_day(alert.retry_at_s).strip()}"
+        )
+        return (
+            f"[{_day(alert.time_s)}] CRASH      {alert.processor}: "
+            f"{alert.error} (crash #{alert.crashes}, {fate})"
+        )
+    if isinstance(alert, DeadLetterAlert):
+        return (
+            f"[{_day(alert.time_s)}] DEAD LETTER {alert.stream}: "
+            f"{alert.n_samples} sample(s) rejected ({alert.reason})"
+        )
+    if isinstance(alert, DegradedModeAlert):
+        verb = "entered" if alert.entered else "left"
+        streams = ", ".join(alert.stale_streams) or "none"
+        return (
+            f"[{_day(alert.time_s)}] DEGRADED   advisor {verb} degraded mode "
+            f"(stale: {streams})"
+        )
     if isinstance(alert, RollupAlert):
         quantiles = " ".join(f"p{int(q * 100)}={v:,.0f}" for q, v in alert.quantiles)
         return (

@@ -106,6 +106,16 @@ class _Accumulator:
         self.start_time_s = math.nan
         self.last_time_s = math.nan
 
+    def state_dict(self) -> dict:
+        return {slot: getattr(self, slot) for slot in _Accumulator.__slots__}
+
+    @classmethod
+    def restore(cls, state: dict) -> "_Accumulator":
+        out = cls()
+        for slot in _Accumulator.__slots__:
+            setattr(out, slot, state[slot])
+        return out
+
     @property
     def mean(self) -> float:
         return self.total / self.n if self.n else math.nan
@@ -268,3 +278,43 @@ class OnlineCusum(Processor):
     def armed(self) -> bool:
         """Whether the baseline is frozen and detection is active."""
         return not math.isnan(self._mu)
+
+    # -- persistence -----------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Snapshot every detector internal — baseline, statistics, runs,
+        closed segments — so a restored detector continues bit-identically."""
+        return {
+            "segment": self._segment.state_dict(),
+            "run_high": self._run_high.state_dict(),
+            "run_low": self._run_low.state_dict(),
+            "mu": self._mu,
+            "sigma": self._sigma,
+            "s_high": self._s_high,
+            "s_low": self._s_low,
+            "closed": [
+                {
+                    "start_time_s": s.start_time_s,
+                    "end_time_s": s.end_time_s,
+                    "n": s.n,
+                    "mean": s.mean,
+                    "std": s.std,
+                }
+                for s in self._closed
+            ],
+            "finished": self._finished,
+            "nan_samples": self.nan_samples,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        self._segment = _Accumulator.restore(state["segment"])
+        self._run_high = _Accumulator.restore(state["run_high"])
+        self._run_low = _Accumulator.restore(state["run_low"])
+        self._mu = state["mu"]
+        self._sigma = state["sigma"]
+        self._s_high = state["s_high"]
+        self._s_low = state["s_low"]
+        self._closed = [Segment(**s) for s in state["closed"]]
+        self._finished = state["finished"]
+        self.nan_samples = state["nan_samples"]

@@ -105,13 +105,26 @@ def series_batches(
             yield StreamBatch(stream, chunk.times_s, chunk.values)
 
 
-def merge_batches(*sources: Iterable[StreamBatch]) -> Iterator[StreamBatch]:
+def merge_batches(
+    *sources: Iterable[StreamBatch], strict: bool = True
+) -> Iterator[StreamBatch]:
     """Interleave per-stream batch iterators into one time-ordered flow.
 
     A k-way heap merge on batch start time: batches are emitted in
     non-decreasing ``t_start_s`` order, which bounds how far apart the
     pipeline's per-stream watermarks can drift (one batch span). Within a
     stream the input order is preserved and must already be time-ordered.
+
+    Boundary semantics: within one stream, consecutive batches must be
+    strictly disjoint in time — a batch whose ``t_start_s`` *equals* the
+    previous batch's ``t_end_s`` would silently duplicate that timestamp in
+    the stream (timestamps within a batch are strictly increasing, so the
+    seam is the only place a duplicate can hide). In strict mode (the
+    default) both overlap and boundary duplication raise
+    :class:`~repro.errors.MonitoringError`. With ``strict=False`` the merge
+    passes every batch through unchecked — the mode the fault-tolerant
+    supervisor uses, where mis-ordered telemetry is dead-lettered and
+    accounted instead of aborting the run.
     """
     heap: list[tuple[float, int, StreamBatch, Iterator[StreamBatch]]] = []
     for seq, source in enumerate(sources):
@@ -120,16 +133,22 @@ def merge_batches(*sources: Iterable[StreamBatch]) -> Iterator[StreamBatch]:
         if first is not None:
             heap.append((first.t_start_s, seq, first, iterator))
     heapq.heapify(heap)
-    last_start = {}
+    last_end = {}
     while heap:
         t_start, seq, batch, iterator = heapq.heappop(heap)
-        previous = last_start.get(batch.stream)
-        if previous is not None and t_start < previous:
+        previous = last_end.get(batch.stream)
+        if strict and previous is not None and t_start <= previous:
+            if t_start == previous:
+                raise MonitoringError(
+                    f"stream {batch.stream!r} duplicates timestamp {t_start} "
+                    "at a batch boundary (batch starts exactly where the "
+                    "previous one ended)"
+                )
             raise MonitoringError(
                 f"stream {batch.stream!r} went backwards in time "
                 f"({t_start} after {previous})"
             )
-        last_start[batch.stream] = batch.t_end_s
+        last_end[batch.stream] = batch.t_end_s
         yield batch
         following = next(iterator, None)
         if following is not None:

@@ -18,15 +18,23 @@ from dataclasses import dataclass
 
 from ..analysis.changepoint import segment_means
 from ..core.reporting import format_kw, render_table
+from ..errors import MonitoringError
 from ..units import SECONDS_PER_DAY, SECONDS_PER_HOUR
 from .advisor import AdvisorConfig, InterventionAdvisor
 from .alerts import AdviceAlert, ChangePointAlert, RegimeChangeAlert, TextAlertSink
 from .cusum import CusumConfig, OnlineCusum
-from .events import CI_STREAM, POWER_STREAM, series_batches
+from .events import CI_STREAM, POWER_STREAM
+from .faults import FAULT_NAMES
 from .pipeline import MonitorPipeline, MonitorReport
 from .processors import WindowedRollup
 from .regime import RegimeTracker, RegimeTrackerConfig
-from .replay import SCENARIO_BUILDERS, MonitorScenario, build_scenario
+from .replay import (
+    SCENARIO_BUILDERS,
+    MonitorScenario,
+    build_scenario,
+    scenario_sources,
+)
+from .supervisor import SupervisedPipeline, SupervisorConfig
 
 __all__ = ["MonitorOutcome", "build_monitor", "run_monitor", "monitor_main"]
 
@@ -41,6 +49,7 @@ class MonitorOutcome:
     tracker: RegimeTracker
     advisor: InterventionAdvisor
     elapsed_s: float
+    pipeline: MonitorPipeline
 
 
 def build_monitor(
@@ -52,17 +61,29 @@ def build_monitor(
     channel_capacity_samples: int = 1 << 18,
     channel_policy: str = "drop_oldest",
     max_samples_per_drain: int | None = None,
+    supervisor_config: SupervisorConfig | None = None,
 ) -> tuple[MonitorPipeline, OnlineCusum, RegimeTracker, InterventionAdvisor]:
-    """Assemble the standard monitoring pipeline; returns its stages."""
+    """Assemble the standard monitoring pipeline; returns its stages.
+
+    With ``supervisor_config`` the pipeline is the fault-tolerant
+    :class:`~repro.live.supervisor.SupervisedPipeline`; otherwise the plain
+    strict pipeline.
+    """
     detector = OnlineCusum(POWER_STREAM, cusum_config)
     tracker = RegimeTracker(CI_STREAM, tracker_config)
     advisor = InterventionAdvisor(config=advisor_config or AdvisorConfig())
-    pipeline = MonitorPipeline(
+    base_kwargs = dict(
         channel_capacity_samples=channel_capacity_samples,
         channel_policy=channel_policy,
         max_samples_per_drain=max_samples_per_drain,
         sinks=sinks,
     )
+    if supervisor_config is not None:
+        pipeline: MonitorPipeline = SupervisedPipeline(
+            supervisor_config=supervisor_config, **base_kwargs
+        )
+    else:
+        pipeline = MonitorPipeline(**base_kwargs)
     pipeline.add_processor(detector)
     pipeline.add_processor(WindowedRollup(POWER_STREAM, window_s=rollup_window_s))
     pipeline.add_processor(tracker)
@@ -72,15 +93,33 @@ def build_monitor(
 
 
 def run_monitor(
-    scenario: MonitorScenario, batch_size: int = 4096, **monitor_kwargs
+    scenario: MonitorScenario,
+    batch_size: int = 4096,
+    faults: list[str] | None = None,
+    fault_seed: int = 0,
+    resume_from: "str | None" = None,
+    **monitor_kwargs,
 ) -> MonitorOutcome:
-    """Replay a scenario through a freshly built monitor."""
+    """Replay a scenario through a freshly built monitor.
+
+    ``faults`` injects the named chaos suite into the replayed sources (see
+    :func:`~repro.live.replay.scenario_sources`); ``resume_from`` loads a
+    checkpoint file before running, continuing an interrupted run. Both
+    require the supervised pipeline — pass ``supervisor_config`` (one is
+    created with defaults if omitted).
+    """
+    if (faults or resume_from) and monitor_kwargs.get("supervisor_config") is None:
+        monitor_kwargs["supervisor_config"] = SupervisorConfig()
     pipeline, detector, tracker, advisor = build_monitor(**monitor_kwargs)
-    start = time.perf_counter()
-    report = pipeline.run(
-        series_batches(POWER_STREAM, scenario.power_kw, batch_size),
-        series_batches(CI_STREAM, scenario.ci_g_per_kwh, batch_size),
+    if resume_from is not None:
+        if not isinstance(pipeline, SupervisedPipeline):
+            raise MonitoringError("resume requires the supervised pipeline")
+        pipeline.resume_from(resume_from)
+    power, ci = scenario_sources(
+        scenario, batch_size, faults=faults, fault_seed=fault_seed
     )
+    start = time.perf_counter()
+    report = pipeline.run(power, ci)
     elapsed = time.perf_counter() - start
     return MonitorOutcome(
         scenario=scenario,
@@ -89,6 +128,7 @@ def run_monitor(
         tracker=tracker,
         advisor=advisor,
         elapsed_s=elapsed,
+        pipeline=pipeline,
     )
 
 
@@ -149,6 +189,29 @@ def _summary_table(outcome: MonitorOutcome) -> str:
             " -> ".join(a.regime.value for a in regimes) or "none observed",
         ]
     )
+    if isinstance(outcome.pipeline, SupervisedPipeline):
+        crashes = sum(metrics.processor_crashes.values())
+        rows.extend(
+            [
+                [
+                    "Dead-lettered",
+                    f"{metrics.total_samples_dead_lettered:,} samples in "
+                    f"{sum(metrics.batches_dead_lettered.values()):,} batches",
+                ],
+                ["Sanitised", f"{sum(metrics.samples_sanitised.values()):,} samples"],
+                [
+                    "Crashes",
+                    f"{crashes} ({sum(metrics.processor_restarts.values())} restarts, "
+                    f"{len(metrics.processors_quarantined)} quarantined)",
+                ],
+                ["Data gaps", f"{sum(metrics.data_gaps_detected.values())}"],
+                ["Checkpoints", f"{metrics.checkpoints_written}"],
+                [
+                    "Accounting",
+                    "reconciles" if metrics.reconciles() else "DOES NOT RECONCILE",
+                ],
+            ]
+        )
     if advice_alerts:
         last = advice_alerts[-1]
         actions = (
@@ -224,12 +287,70 @@ def monitor_main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="suppress the live alert feed, print only the summary",
     )
+    parser.add_argument(
+        "--supervised",
+        action="store_true",
+        help="run under the fault-tolerant supervisor (implied by the flags below)",
+    )
+    parser.add_argument(
+        "--inject-faults",
+        metavar="NAMES",
+        default=None,
+        help=(
+            "inject seeded chaos into the replayed telemetry: 'all' or a "
+            f"comma-separated subset of {','.join(FAULT_NAMES)}"
+        ),
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed for the fault injectors (default: 0)",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="write periodic pipeline checkpoints to this file",
+    )
+    parser.add_argument(
+        "--checkpoint-every-hours",
+        type=float,
+        default=24.0,
+        help="stream-time interval between checkpoints (default: 24)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="load the --checkpoint file before running and continue from it",
+    )
     args = parser.parse_args(argv)
+
+    if args.resume and not args.checkpoint:
+        parser.error("--resume requires --checkpoint")
+    faults: list[str] | None = None
+    if args.inject_faults:
+        if args.inject_faults.strip() == "all":
+            faults = list(FAULT_NAMES)
+        else:
+            faults = [s.strip() for s in args.inject_faults.split(",") if s.strip()]
+    supervised = bool(args.supervised or faults or args.checkpoint)
+    supervisor_config = (
+        SupervisorConfig(
+            checkpoint_path=args.checkpoint,
+            checkpoint_every_s=args.checkpoint_every_hours * SECONDS_PER_HOUR,
+        )
+        if supervised
+        else None
+    )
 
     scenario = build_scenario(args.scenario, args.days, args.seed)
     sinks = () if args.quiet else (TextAlertSink(sys.stdout),)
     outcome = run_monitor(
         scenario,
+        faults=faults,
+        fault_seed=args.fault_seed,
+        resume_from=args.checkpoint if args.resume else None,
         cusum_config=CusumConfig(
             threshold_sigma=args.threshold,
             drift_sigma=args.drift,
@@ -240,8 +361,13 @@ def monitor_main(argv: list[str] | None = None) -> int:
         ),
         rollup_window_s=args.window_hours * SECONDS_PER_HOUR,
         sinks=sinks,
+        supervisor_config=supervisor_config,
     )
     if not args.quiet:
         print()
     print(_summary_table(outcome))
+    if isinstance(outcome.pipeline, SupervisedPipeline):
+        if not outcome.report.metrics.reconciles():
+            print("error: sample accounting does not reconcile", file=sys.stderr)
+            return 1
     return 0

@@ -34,14 +34,33 @@ __all__ = ["PipelineMetrics", "MonitorReport", "MonitorPipeline"]
 
 @dataclass
 class PipelineMetrics:
-    """Counters and watermarks describing one pipeline run."""
+    """Counters and watermarks describing one pipeline run.
+
+    The per-stream accounting identity — every sample offered is either
+    processed, shed by channel overflow, or dead-lettered at admission —
+    holds at all times::
+
+        samples_in == samples_processed + samples_dropped + samples_dead_lettered
+
+    The dead-letter, sanitise, crash, gap and checkpoint counters are only
+    advanced by the fault-tolerant :class:`~repro.live.supervisor.
+    SupervisedPipeline`; under the plain pipeline they stay zero.
+    """
 
     batches_in: dict[str, int] = field(default_factory=dict)
     samples_in: dict[str, int] = field(default_factory=dict)
     samples_processed: dict[str, int] = field(default_factory=dict)
     samples_dropped: dict[str, int] = field(default_factory=dict)
+    samples_dead_lettered: dict[str, int] = field(default_factory=dict)
+    batches_dead_lettered: dict[str, int] = field(default_factory=dict)
+    samples_sanitised: dict[str, int] = field(default_factory=dict)
     channel_high_watermarks: dict[str, int] = field(default_factory=dict)
     alerts_emitted: dict[str, int] = field(default_factory=dict)
+    processor_crashes: dict[str, int] = field(default_factory=dict)
+    processor_restarts: dict[str, int] = field(default_factory=dict)
+    processors_quarantined: list[str] = field(default_factory=list)
+    data_gaps_detected: dict[str, int] = field(default_factory=dict)
+    checkpoints_written: int = 0
     watermark_time_s: float = -math.inf
 
     @property
@@ -55,9 +74,49 @@ class PipelineMetrics:
         return sum(self.samples_dropped.values())
 
     @property
+    def total_samples_dead_lettered(self) -> int:
+        """Samples rejected at admission across all streams."""
+        return sum(self.samples_dead_lettered.values())
+
+    @property
     def total_alerts(self) -> int:
         """Alerts emitted across all types."""
         return sum(self.alerts_emitted.values())
+
+    def reconciles(self) -> bool:
+        """Whether the per-stream accounting identity holds for every stream."""
+        return all(
+            self.samples_in[stream]
+            == self.samples_processed.get(stream, 0)
+            + self.samples_dropped.get(stream, 0)
+            + self.samples_dead_lettered.get(stream, 0)
+            for stream in self.samples_in
+        )
+
+    def state_dict(self) -> dict:
+        """JSON-serialisable snapshot of every counter."""
+        return {
+            "batches_in": dict(self.batches_in),
+            "samples_in": dict(self.samples_in),
+            "samples_processed": dict(self.samples_processed),
+            "samples_dropped": dict(self.samples_dropped),
+            "samples_dead_lettered": dict(self.samples_dead_lettered),
+            "batches_dead_lettered": dict(self.batches_dead_lettered),
+            "samples_sanitised": dict(self.samples_sanitised),
+            "channel_high_watermarks": dict(self.channel_high_watermarks),
+            "alerts_emitted": dict(self.alerts_emitted),
+            "processor_crashes": dict(self.processor_crashes),
+            "processor_restarts": dict(self.processor_restarts),
+            "processors_quarantined": list(self.processors_quarantined),
+            "data_gaps_detected": dict(self.data_gaps_detected),
+            "checkpoints_written": self.checkpoints_written,
+            "watermark_time_s": self.watermark_time_s,
+        }
+
+    @classmethod
+    def restore(cls, state: dict) -> "PipelineMetrics":
+        """Rebuild metrics from a :meth:`state_dict` snapshot."""
+        return cls(**state)
 
 
 @dataclass(frozen=True)
@@ -140,27 +199,67 @@ class MonitorPipeline:
         if not self._processors:
             raise MonitoringError("pipeline has no processors attached")
         metrics = self.metrics
-        for batch in merge_batches(*sources):
+        for batch in self._merged(sources):
             stream = batch.stream
+            metrics.batches_in[stream] = metrics.batches_in.get(stream, 0) + 1
+            metrics.samples_in[stream] = metrics.samples_in.get(stream, 0) + len(batch)
+            batch = self._admit(batch)
+            if batch is None:
+                continue
             channel = self._channels.get(stream)
             if channel is None:
                 raise MonitoringError(
                     f"no processor subscribed to stream {stream!r}; "
                     f"known streams: {sorted(self._channels)}"
                 )
-            metrics.batches_in[stream] = metrics.batches_in.get(stream, 0) + 1
-            metrics.samples_in[stream] = metrics.samples_in.get(stream, 0) + len(batch)
             channel.put(batch)
             self._drain(stream, self._drain_budget)
+            self._after_ingest(batch)
         for stream in self._channels:
             self._drain(stream, None)  # final drain is always complete
+        self._before_finish()
         for processors in self._processors.values():
             for processor in processors:
-                self._dispatch(processor.finish())
-        for stream, channel in self._channels.items():
-            metrics.samples_dropped[stream] = channel.dropped_samples
-            metrics.channel_high_watermarks[stream] = channel.high_watermark_samples
+                self._finish_processor(processor)
+        self._sync_channel_metrics()
         return MonitorReport(metrics=metrics, alerts=tuple(self._alerts))
+
+    # -- supervision hooks (overridden by SupervisedPipeline) ------------------
+
+    def _merged(self, sources: tuple[Iterable[StreamBatch], ...]) -> Iterable[StreamBatch]:
+        """The merged event flow; strict ordering under the plain pipeline."""
+        return merge_batches(*sources)
+
+    def _admit(self, batch: StreamBatch) -> StreamBatch | None:
+        """Validate one ingested batch; ``None`` means it was rejected.
+
+        The plain pipeline admits everything (the strict merge already
+        enforces ordering); the supervisor overrides this with dead-letter
+        validation and value sanitisation.
+        """
+        return batch
+
+    def _invoke(self, processor: Processor, batch: StreamBatch) -> None:
+        """Feed one batch to one processor (supervisor adds crash isolation)."""
+        self._dispatch(processor.process(batch))
+
+    def _finish_processor(self, processor: Processor) -> None:
+        """Flush one processor at end of stream."""
+        self._dispatch(processor.finish())
+
+    def _after_ingest(self, batch: StreamBatch) -> None:
+        """Post-ingest hook (supervisor: watchdogs + periodic checkpoints)."""
+
+    def _before_finish(self) -> None:
+        """Pre-finish hook (supervisor: trailing-gap detection)."""
+
+    def _sync_channel_metrics(self) -> None:
+        """Publish channel drop/watermark counters into the metrics."""
+        for stream, channel in self._channels.items():
+            self.metrics.samples_dropped[stream] = channel.dropped_samples
+            self.metrics.channel_high_watermarks[stream] = (
+                channel.high_watermark_samples
+            )
 
     def _drain(self, stream: str, budget: int | None) -> None:
         channel = self._channels[stream]
@@ -181,7 +280,7 @@ class MonitorPipeline:
                 self.metrics.watermark_time_s, batch.t_end_s
             )
             for processor in processors:
-                self._dispatch(processor.process(batch))
+                self._invoke(processor, batch)
 
     def _dispatch(self, alerts: list[Alert]) -> None:
         for alert in alerts:

@@ -35,6 +35,18 @@ class Processor:
         """Flush end-of-stream state; return any final alerts."""
         return []
 
+    def state_dict(self) -> dict:
+        """JSON-serialisable snapshot of incremental state (stateless: empty).
+
+        Stateful subclasses override this together with
+        :meth:`load_state_dict` so the supervisor can checkpoint a running
+        pipeline and later resume it exactly.
+        """
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (stateless: no-op)."""
+
 
 class WindowedRollup(Processor):
     """Tumbling-window statistics over one stream.
@@ -112,3 +124,19 @@ class WindowedRollup(Processor):
         self._stats = OnlineStats()
         self._quantiles = [P2Quantile(q) for q in self.quantile_levels]
         return alert
+
+    def state_dict(self) -> dict:
+        """Snapshot the open window (stats + quantile markers) exactly."""
+        return {
+            "window_index": self._window_index,
+            "stats": self._stats.state_dict(),
+            "quantiles": [t.state_dict() for t in self._quantiles],
+            "windows_closed": self.windows_closed,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore an open window snapshotted by :meth:`state_dict`."""
+        self._window_index = state["window_index"]
+        self._stats = OnlineStats.restore(state["stats"])
+        self._quantiles = [P2Quantile.restore(s) for s in state["quantiles"]]
+        self.windows_closed = state["windows_closed"]

@@ -139,3 +139,49 @@ class RegimeTracker(Processor):
     def regime_sequence(self) -> list[Regime]:
         """Committed regimes in order (initial classification first)."""
         return [t.regime for t in self.transitions]
+
+    # -- persistence -----------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Snapshot the committed regime, debounce state and transitions."""
+        return {
+            "current": self.current.value if self.current else None,
+            "pending_regime": (
+                self._pending_regime.value if self._pending_regime else None
+            ),
+            "pending_count": self._pending_count,
+            "pending_time_s": self._pending_time_s,
+            "pending_ci": self._pending_ci,
+            "transitions": [
+                {
+                    "time_s": t.time_s,
+                    "stream": t.stream,
+                    "previous": t.previous.value if t.previous else None,
+                    "regime": t.regime.value,
+                    "ci_g_per_kwh": t.ci_g_per_kwh,
+                }
+                for t in self.transitions
+            ],
+            "nan_samples": self.nan_samples,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        self.current = Regime(state["current"]) if state["current"] else None
+        self._pending_regime = (
+            Regime(state["pending_regime"]) if state["pending_regime"] else None
+        )
+        self._pending_count = state["pending_count"]
+        self._pending_time_s = state["pending_time_s"]
+        self._pending_ci = state["pending_ci"]
+        self.transitions = [
+            RegimeChangeAlert(
+                time_s=t["time_s"],
+                stream=t["stream"],
+                previous=Regime(t["previous"]) if t["previous"] else None,
+                regime=Regime(t["regime"]),
+                ci_g_per_kwh=t["ci_g_per_kwh"],
+            )
+            for t in state["transitions"]
+        ]
+        self.nan_samples = state["nan_samples"]

@@ -19,7 +19,7 @@ realistic noise, quantisation and NaN dropouts rather than clean steps.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Iterator
 
 import numpy as np
 
@@ -28,6 +28,8 @@ from ..grid.carbon_intensity import CarbonIntensityModel
 from ..telemetry.meters import MeterSpec, PowerMeter
 from ..telemetry.series import TimeSeries
 from ..units import SECONDS_PER_DAY
+from .events import CI_STREAM, POWER_STREAM, StreamBatch, series_batches
+from .faults import apply_faults, chaos_chain
 
 __all__ = [
     "MonitorScenario",
@@ -38,6 +40,7 @@ __all__ = [
     "regime_sweep_scenario",
     "SCENARIO_BUILDERS",
     "build_scenario",
+    "scenario_sources",
 ]
 
 
@@ -197,3 +200,33 @@ def build_scenario(
     if seed is not None:
         kwargs["seed"] = seed
     return builder(**kwargs)
+
+
+def scenario_sources(
+    scenario: MonitorScenario,
+    batch_size: int = 4096,
+    faults: "list[str] | tuple[str, ...] | None" = None,
+    fault_seed: int = 0,
+) -> tuple["Iterator[StreamBatch]", "Iterator[StreamBatch]"]:
+    """The scenario's per-stream batch iterators, optionally fault-injected.
+
+    With ``faults`` (names from :data:`~repro.live.faults.FAULT_NAMES`) each
+    stream gets its own independently seeded :func:`~repro.live.faults.
+    chaos_chain` — power's stall lands early in the window, carbon
+    intensity's late, so the two data gaps are distinguishable downstream.
+    Everything is deterministic in ``fault_seed``, which is what lets a
+    resumed run re-derive the identical faulted flow.
+    """
+    power = series_batches(POWER_STREAM, scenario.power_kw, batch_size)
+    ci = series_batches(CI_STREAM, scenario.ci_g_per_kwh, batch_size)
+    if faults:
+        duration_s = float(scenario.power_kw.times_s[-1])
+        power = apply_faults(
+            power,
+            *chaos_chain(faults, duration_s, fault_seed, stall_at_fraction=0.35),
+        )
+        ci = apply_faults(
+            ci,
+            *chaos_chain(faults, duration_s, fault_seed + 1, stall_at_fraction=0.6),
+        )
+    return power, ci

@@ -39,11 +39,16 @@ def load_csv(path: str | Path, name: str = "") -> TimeSeries:
         header = next(reader, None)
         if header is None or tuple(header) != _CSV_HEADER:
             raise TelemetryError(f"{path}: not a telemetry CSV (bad header {header!r})")
-        for row in reader:
+        for line, row in enumerate(reader, start=2):
             if len(row) != 2:
-                raise TelemetryError(f"{path}: malformed row {row!r}")
-            times.append(float(row[0]))
-            values.append(float("nan") if row[1] == "" else float(row[1]))
+                raise TelemetryError(f"{path}:{line}: malformed row {row!r}")
+            try:
+                times.append(float(row[0]))
+                values.append(float("nan") if row[1] == "" else float(row[1]))
+            except ValueError as exc:
+                raise TelemetryError(
+                    f"{path}:{line}: non-numeric field in row {row!r}: {exc}"
+                ) from exc
     return TimeSeries(np.asarray(times), np.asarray(values), name or path.stem)
 
 

@@ -227,6 +227,26 @@ class OnlineStats:
             setattr(out, slot, getattr(self, slot))
         return out
 
+    # -- persistence -----------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-serialisable snapshot of the accumulator (see ``restore``)."""
+        return {slot: getattr(self, slot) for slot in OnlineStats.__slots__}
+
+    @classmethod
+    def restore(cls, state: dict) -> "OnlineStats":
+        """Rebuild an accumulator from a :meth:`state_dict` snapshot.
+
+        The round-trip is exact: every statistic of the restored accumulator
+        is bit-identical to the original's, so a checkpointed monitor resumes
+        with no drift.
+        """
+        out = cls(state.get("name", ""))
+        for slot in OnlineStats.__slots__:
+            if slot != "name":
+                setattr(out, slot, state[slot])
+        return out
+
     # -- results ---------------------------------------------------------------
 
     @property
@@ -377,6 +397,28 @@ class P2Quantile:
             return float(np.percentile(self._buffer, 100.0 * self.q))
         return float(self._heights[2])
 
+    # -- persistence -----------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-serialisable snapshot of the marker state (see ``restore``)."""
+        return {
+            "q": self.q,
+            "buffer": list(self._buffer),
+            "heights": list(self._heights) if self._heights is not None else None,
+            "pos": list(self._pos),
+            "desired": list(self._desired),
+        }
+
+    @classmethod
+    def restore(cls, state: dict) -> "P2Quantile":
+        """Rebuild a tracker from a :meth:`state_dict` snapshot, exactly."""
+        out = cls(state["q"])
+        out._buffer = list(state["buffer"])
+        out._heights = list(state["heights"]) if state["heights"] is not None else None
+        out._pos = list(state["pos"])
+        out._desired = list(state["desired"])
+        return out
+
 
 class ChunkedSeriesReader:
     """Re-iterable fixed-size chunk source over telemetry.
@@ -447,11 +489,16 @@ class ChunkedSeriesReader:
                 raise TelemetryError(
                     f"{self._path}: not a telemetry CSV (bad header {header!r})"
                 )
-            for row in reader:
+            for line, row in enumerate(reader, start=2):
                 if len(row) != 2:
-                    raise TelemetryError(f"{self._path}: malformed row {row!r}")
-                times.append(float(row[0]))
-                values.append(float("nan") if row[1] == "" else float(row[1]))
+                    raise TelemetryError(f"{self._path}:{line}: malformed row {row!r}")
+                try:
+                    times.append(float(row[0]))
+                    values.append(float("nan") if row[1] == "" else float(row[1]))
+                except ValueError as exc:
+                    raise TelemetryError(
+                        f"{self._path}:{line}: non-numeric field in row {row!r}: {exc}"
+                    ) from exc
                 if len(times) == self.chunk_size:
                     yield SeriesChunk(np.asarray(times), np.asarray(values))
                     times, values = [], []

@@ -2,10 +2,15 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.errors import ConfigurationError
-from repro.facility.failures import FailureModel
+from repro.errors import ConfigurationError, UnitError
+from repro.facility.failures import FailureModel, FailureTimeline
 from repro.units import SECONDS_PER_DAY
+
+mtbf_hours = st.floats(min_value=1.0, max_value=1e6, allow_nan=False)
+mttr_hours = st.floats(min_value=0.01, max_value=1e4, allow_nan=False)
 
 
 class TestSteadyState:
@@ -77,3 +82,69 @@ class TestTimeline:
     def test_validation(self, rng):
         with pytest.raises(ConfigurationError):
             FailureModel().sample_timeline(0, 100.0, rng)
+
+    def test_zero_duration_span_rejected(self, rng):
+        """A zero-length span is a validation error, not a crash or NaN."""
+        with pytest.raises(UnitError):
+            FailureModel().sample_timeline(100, 0.0, rng)
+
+    def test_span_shorter_than_sample_interval(self, rng):
+        """A span inside one sample interval still yields a one-point grid."""
+        model = FailureModel(mtbf_hours=100.0, mttr_hours=10.0)
+        timeline = model.sample_timeline(100, 600.0, rng, sample_interval_s=3600.0)
+        assert len(timeline.times_s) == 1
+        assert 0 <= timeline.down_nodes[0] <= 100
+
+    def test_single_sample_capacity_loss_is_zero(self):
+        """With fewer than two samples no interval exists to integrate."""
+        timeline = FailureTimeline(
+            times_s=np.array([0.0]), down_nodes=np.array([3.0]), n_nodes=10
+        )
+        assert timeline.capacity_loss_node_hours() == 0.0
+
+
+class TestFailureProperties:
+    @given(mtbf_hours, mttr_hours)
+    @settings(max_examples=100)
+    def test_unavailability_bounded_and_monotone(self, mtbf, mttr):
+        model = FailureModel(mtbf_hours=mtbf, mttr_hours=mttr)
+        u = model.steady_state_unavailability
+        assert 0.0 < u < 1.0
+        # Longer repairs can only make things worse, better MTBF only better.
+        assert FailureModel(mtbf_hours=mtbf, mttr_hours=2 * mttr).steady_state_unavailability >= u
+        assert FailureModel(mtbf_hours=2 * mtbf, mttr_hours=mttr).steady_state_unavailability <= u
+
+    @given(
+        mtbf_hours,
+        mttr_hours,
+        st.integers(min_value=1, max_value=100_000),
+        st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+    )
+    @settings(max_examples=100)
+    def test_expected_failures_linear(self, mtbf, mttr, nodes, duration_s):
+        model = FailureModel(mtbf_hours=mtbf, mttr_hours=mttr)
+        base = model.expected_failures(nodes, duration_s)
+        assert base >= 0.0
+        assert model.expected_failures(2 * nodes, duration_s) == pytest.approx(
+            2 * base
+        )
+        assert model.expected_failures(nodes, 2 * duration_s) == pytest.approx(
+            2 * base
+        )
+
+    @given(mtbf_hours, mttr_hours, st.integers(min_value=1, max_value=100))
+    @settings(max_examples=50)
+    def test_zero_duration_expects_zero_failures(self, mtbf, mttr, nodes):
+        model = FailureModel(mtbf_hours=mtbf, mttr_hours=mttr)
+        assert model.expected_failures(nodes, 0.0) == 0.0
+
+    @given(st.integers(min_value=1, max_value=200), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_timeline_counts_always_within_fleet(self, nodes, seed):
+        model = FailureModel(mtbf_hours=50.0, mttr_hours=25.0)
+        timeline = model.sample_timeline(
+            nodes, 2 * SECONDS_PER_DAY, np.random.default_rng(seed)
+        )
+        assert np.all(timeline.down_nodes >= 0)
+        assert np.all(timeline.down_nodes <= nodes)
+        assert 0.0 <= timeline.mean_unavailability <= 1.0

@@ -93,6 +93,33 @@ class TestMergeBatches:
     def test_empty_sources(self):
         assert list(merge_batches([], [])) == []
 
+    def test_boundary_duplicate_timestamp_rejected(self):
+        """A batch starting exactly at the previous batch's end timestamp
+        would silently duplicate that timestamp — regression for the seam
+        case the old `<` check let through."""
+        first = make_batch(POWER_STREAM, t0=0.0, n=4)  # ends at t=3
+        duplicate_seam = make_batch(POWER_STREAM, t0=3.0, n=4)
+        with pytest.raises(MonitoringError, match="duplicates timestamp"):
+            list(merge_batches([first, duplicate_seam]))
+
+    def test_adjacent_but_disjoint_batches_accepted(self):
+        """Starting strictly after the previous end is fine."""
+        batches = [make_batch(POWER_STREAM, t0=0.0, n=4), make_batch(POWER_STREAM, t0=4.0, n=4)]
+        merged = list(merge_batches(batches))
+        times = np.concatenate([b.times_s for b in merged])
+        assert len(np.unique(times)) == len(times) == 8
+
+    def test_non_strict_mode_passes_faulty_flow_through(self):
+        """strict=False (supervisor mode) delivers everything unchecked —
+        duplicates and rewinds included — for downstream dead-lettering."""
+        batches = [
+            make_batch(POWER_STREAM, t0=0.0, n=4),
+            make_batch(POWER_STREAM, t0=3.0, n=4),  # boundary duplicate
+            make_batch(POWER_STREAM, t0=1.0, n=2),  # full rewind
+        ]
+        merged = list(merge_batches(batches, strict=False))
+        assert len(merged) == 3
+
 
 class TestBoundedChannel:
     def test_fifo_roundtrip(self):

@@ -139,6 +139,26 @@ class TestPersistence:
         with pytest.raises(TelemetryError):
             load_csv(path)
 
+    def test_csv_non_numeric_time_wrapped_with_context(self, tmp_path):
+        """Regression: a corrupt time field used to escape as a raw
+        ValueError; it must surface as TelemetryError naming file and line."""
+        path = tmp_path / "corrupt.csv"
+        path.write_text("time_s,value\n0,1.5\noops,2.5\n")
+        with pytest.raises(TelemetryError, match=r"corrupt\.csv:3.*oops"):
+            load_csv(path)
+
+    def test_csv_non_numeric_value_wrapped_with_context(self, tmp_path):
+        path = tmp_path / "corrupt.csv"
+        path.write_text("time_s,value\n0,1.5\n60,n/a\n")
+        with pytest.raises(TelemetryError, match=r"corrupt\.csv:3.*non-numeric"):
+            load_csv(path)
+
+    def test_npz_missing_key_wrapped(self, tmp_path):
+        path = tmp_path / "partial.npz"
+        np.savez_compressed(path, times_s=np.array([0.0, 1.0]))
+        with pytest.raises(TelemetryError, match="partial.npz"):
+            load_npz(path)
+
     def test_npz_roundtrip(self, tmp_path):
         series = TimeSeries(
             np.array([0.0, 1.0]), np.array([np.nan, 2.0]), "cabinet"

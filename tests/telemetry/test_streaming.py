@@ -150,6 +150,42 @@ class TestOnlineStats:
             assert math.isnan(stats.mean)
 
 
+class TestStreamingStatePersistence:
+    def test_online_stats_restore_bit_identical(self):
+        series = make_noisy_series(500)
+        stats = OnlineStats().update(series.times_s[:300], series.values[:300])
+        resumed = OnlineStats.restore(stats.state_dict())
+        stats.update(series.times_s[300:], series.values[300:])
+        resumed.update(series.times_s[300:], series.values[300:])
+        assert resumed.state_dict() == stats.state_dict()
+        assert resumed.mean == stats.mean
+        assert resumed.std == stats.std
+
+    def test_online_stats_state_json_roundtrip(self):
+        import json
+
+        series = make_noisy_series(100)
+        stats = OnlineStats().update(series.times_s, series.values)
+        state = json.loads(json.dumps(stats.state_dict()))
+        assert OnlineStats.restore(state).state_dict() == stats.state_dict()
+
+    def test_p2_quantile_restore_bit_identical(self):
+        rng = np.random.default_rng(11)
+        values = rng.normal(size=200)
+        tracker = P2Quantile(0.9).update(values[:40])
+        resumed = P2Quantile.restore(tracker.state_dict())
+        tracker.update(values[40:])
+        resumed.update(values[40:])
+        assert resumed.state_dict() == tracker.state_dict()
+        assert resumed.result() == tracker.result()
+
+    def test_p2_quantile_restore_before_marker_init(self):
+        """A snapshot taken while still buffering (< 5 samples) restores."""
+        tracker = P2Quantile(0.5).update(np.array([1.0, 2.0]))
+        resumed = P2Quantile.restore(tracker.state_dict())
+        assert resumed.result() == tracker.result()
+
+
 class TestP2Quantile:
     def test_invalid_quantile_rejected(self):
         for q in (0.0, 1.0, -0.2, 1.5):
@@ -220,6 +256,14 @@ class TestChunkedSeriesReader:
         path = tmp_path / "bad.csv"
         path.write_text("time_s,value\n1,2,3\n")
         with pytest.raises(TelemetryError):
+            list(ChunkedSeriesReader(path))
+
+    def test_csv_non_numeric_field_wrapped_with_context(self, tmp_path):
+        """Regression: corrupt numeric fields must raise TelemetryError with
+        file and line context, not a raw ValueError."""
+        path = tmp_path / "corrupt.csv"
+        path.write_text("time_s,value\n0,1.0\n60,bogus\n")
+        with pytest.raises(TelemetryError, match=r"corrupt\.csv:3.*non-numeric"):
             list(ChunkedSeriesReader(path))
 
     def test_npz_matches_series(self, tmp_path):
