@@ -1,0 +1,128 @@
+"""Bench S2 — vectorized sweep engine vs the scalar loop, plus cache replay.
+
+A 1,008-scenario grid (3 frequencies × 2 BIOS modes × 4 CI scenarios ×
+7 utilisations × 2 node counts × 3 lifetimes) is evaluated three ways:
+
+* the naive scalar loop over ``evaluate_scenario`` (the regression oracle),
+* the vectorized chunked runner (cold, writing the on-disk store), and
+* a warm replay against the in-memory LRU and against the on-disk store.
+
+Shape criteria: the vectorized runner matches the scalar loop to ≤1e-9
+relative error on every column of every scenario, is ≥5× faster than the
+loop, warm in-memory replay is ≥50× faster than the cold run, and both
+cache layers return byte-identical arrays.
+"""
+
+import tempfile
+import time
+
+import numpy as np
+
+from repro.core.reporting import render_table
+from repro.engine import (
+    CIScenario,
+    LRUCache,
+    SweepSpec,
+    SweepStore,
+    run_sweep,
+    run_sweep_scalar,
+)
+from repro.engine.runner import COLUMNS
+
+CHUNK = 128
+
+
+def _grid_spec() -> SweepSpec:
+    return SweepSpec(
+        ci_scenarios=(
+            CIScenario.flat(25.0),
+            CIScenario.flat(55.0),
+            CIScenario.flat(190.0),
+            CIScenario.decarbonising(190.0, 0.07),
+        ),
+        utilisations=(0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9),
+        node_counts=(1000, 5860),
+        lifetimes_years=(4.0, 6.0, 8.0),
+    )
+
+
+def _run() -> dict:
+    spec = _grid_spec()
+
+    t0 = time.perf_counter()
+    scalar = run_sweep_scalar(spec)
+    t_scalar = time.perf_counter() - t0
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = SweepStore(tmp)
+        memory = LRUCache()
+
+        t0 = time.perf_counter()
+        cold = run_sweep(spec, chunk_size=CHUNK, store=store, memory_cache=memory)
+        t_cold = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        warm_memory = run_sweep(spec, chunk_size=CHUNK, store=store, memory_cache=memory)
+        t_warm_memory = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        warm_disk = run_sweep(spec, chunk_size=CHUNK, store=store)
+        t_warm_disk = time.perf_counter() - t0
+
+        byte_identical_memory = all(
+            cold.columns[c].tobytes() == warm_memory.columns[c].tobytes()
+            for c in COLUMNS
+        )
+        byte_identical_disk = all(
+            cold.columns[c].tobytes() == warm_disk.columns[c].tobytes()
+            for c in COLUMNS
+        )
+
+    worst_rel = 0.0
+    for name in COLUMNS:
+        a = cold.columns[name].astype(float)
+        b = scalar.columns[name].astype(float)
+        assert np.array_equal(np.isnan(a), np.isnan(b)), name
+        mask = ~np.isnan(b)
+        scale = np.maximum(np.abs(b[mask]), 1.0)
+        worst_rel = max(worst_rel, float(np.max(np.abs(a[mask] - b[mask]) / scale, initial=0.0)))
+
+    return {
+        "spec": spec,
+        "t_scalar": t_scalar,
+        "t_cold": t_cold,
+        "t_warm_memory": t_warm_memory,
+        "t_warm_disk": t_warm_disk,
+        "worst_rel": worst_rel,
+        "byte_identical_memory": byte_identical_memory,
+        "byte_identical_disk": byte_identical_disk,
+        "memory_hit": warm_memory.meta.memory_hit,
+        "disk_hits": warm_disk.meta.disk_hits,
+        "disk_computed": warm_disk.meta.computed_chunks,
+    }
+
+
+def test_sweep_engine(once):
+    r = once(_run)
+    n = r["spec"].n_scenarios
+    speedup = r["t_scalar"] / r["t_cold"]
+    warm_speedup = r["t_cold"] / r["t_warm_memory"]
+    disk_speedup = r["t_cold"] / r["t_warm_disk"]
+    rows = [
+        ["Grid", f"{n:,} scenarios ({CHUNK}-row chunks)"],
+        ["Scalar loop", f"{r['t_scalar']:.3f} s"],
+        ["Vectorized (cold + store)", f"{r['t_cold']:.3f} s ({speedup:.1f}x)"],
+        ["Warm replay (memory LRU)", f"{r['t_warm_memory'] * 1e3:.2f} ms ({warm_speedup:.0f}x)"],
+        ["Warm replay (disk store)", f"{r['t_warm_disk'] * 1e3:.2f} ms ({disk_speedup:.1f}x)"],
+        ["Worst vectorized-vs-scalar error", f"{r['worst_rel']:.2e} (rel)"],
+        ["Cache replays byte-identical", f"memory={r['byte_identical_memory']}, disk={r['byte_identical_disk']}"],
+    ]
+    print()
+    print(render_table(["Quantity", "Value"], rows, title="Scenario-sweep engine"))
+
+    assert n >= 1000
+    assert r["worst_rel"] <= 1e-9
+    assert speedup >= 5.0
+    assert r["memory_hit"] and warm_speedup >= 50.0
+    assert r["disk_hits"] > 0 and r["disk_computed"] == 0
+    assert r["byte_identical_memory"] and r["byte_identical_disk"]

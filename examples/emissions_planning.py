@@ -15,7 +15,7 @@ Run:  python examples/emissions_planning.py
 
 import numpy as np
 
-from repro.analysis.scenarios import (
+from repro.engine.scenarios import (
     ci_sweep,
     lifetime_sensitivity,
     regime_boundaries_map,

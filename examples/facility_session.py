@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Quickstart via the façade: one import, the whole §2–§5 methodology.
+
+Everything the longer examples do with deep imports — emissions breakdowns,
+regime classification, benchmark efficiency ratios, the §5 decision engine,
+and full scenario sweeps — through the single stable entry point
+``repro.api.FacilitySession``.
+
+Run:  python examples/facility_session.py
+"""
+
+from repro.api import FacilitySession
+
+
+def main() -> None:
+    # -- 1. the facility: ARCHER2 defaults, Winter-2022 UK grid --------------
+    session = FacilitySession(ci_g_per_kwh=190.0)
+    emissions = session.emissions()
+    print(f"mean facility power: {session.mean_power_kw():,.0f} kW")
+    print(
+        f"lifetime emissions: {emissions['total_tco2e']:,.0f} tCO2e "
+        f"({emissions['scope2_share'] * 100:.0f}% scope 2)"
+    )
+    print(
+        f"scope-2/scope-3 crossover: {emissions['crossover_ci_g_per_kwh']:.0f} gCO2/kWh"
+    )
+
+    # -- 2. which regime, and what to optimise for ---------------------------
+    for ci in (15.0, 55.0, 190.0):
+        regime = session.classify_regime(ci)
+        target = session.optimisation_target(ci)
+        print(f"  {ci:5.0f} g/kWh -> {regime.value}: {target.value}")
+
+    # -- 3. the paper's intervention, scored on the benchmark apps -----------
+    rows = session.efficiency()
+    mean_perf = sum(r.perf_ratio for r in rows) / len(rows)
+    mean_energy = sum(r.energy_ratio for r in rows) / len(rows)
+    print(
+        f"\n2.0GHz/performance-determinism vs baseline over {len(rows)} apps: "
+        f"perf x{mean_perf:.2f}, energy x{mean_energy:.2f}"
+    )
+
+    # -- 4. what the decision engine recommends ------------------------------
+    best = session.advise()
+    print(f"recommended config: {best.config.label()}")
+
+    # -- 5. a full what-if sweep through the vectorized engine ---------------
+    result = session.sweep(utilisations=(0.5, 0.7, 0.9), lifetimes_years=(4.0, 6.0, 8.0))
+    print(f"\nswept {len(result)} scenarios:")
+    print(result.to_table(max_rows=5))
+
+
+if __name__ == "__main__":
+    main()

@@ -7,15 +7,16 @@ facility.
 
 Quick start::
 
-    from repro import archer2_inventory, run_campaign, CampaignConfig
-    from repro.units import SECONDS_PER_DAY
+    from repro.api import FacilitySession
 
-    config = CampaignConfig(duration_s=14 * SECONDS_PER_DAY)
-    result = run_campaign(config)
-    print(f"mean cabinet power: {result.mean_cabinet_kw:,.0f} kW")
+    session = FacilitySession(ci_g_per_kwh=190.0)
+    print(session.emissions()["total_tco2e"])
+    print(session.advise().config.label())
+    print(session.sweep().to_table())
 
 Subpackages
 -----------
+``api``           the stable façade: :class:`FacilitySession`
 ``facility``      hardware inventory, power roll-ups, cooling, PUE
 ``node``          CPU P-states, DVFS power, BIOS determinism modes
 ``workload``      roofline models, application catalogue, job streams
@@ -24,11 +25,15 @@ Subpackages
 ``grid``          carbon intensity, pricing, demand response
 ``interconnect``  dragonfly topology, switch power
 ``core``          the paper's contribution: emissions, regimes, interventions
-``analysis``      baselines, change points, ratio estimation, scenarios
+``engine``        vectorized, cached scenario-sweep engine
+``analysis``      baselines, change points, ratio estimation
 ``experiments``   one driver per paper table/figure (T1–T4, F1–F3, C1, R1, A1–A4)
 """
 
 from . import units
+from .api import FacilitySession
+from .engine import CIScenario, SweepResult, SweepSpec, run_sweep, run_sweep_scalar
+from .results import Result
 from .core import (
     ARCHER2_WINTER_2022,
     BASELINE_CONFIG,
@@ -65,6 +70,14 @@ __version__ = "1.0.0"
 __all__ = [
     "__version__",
     "units",
+    # façade + engine
+    "FacilitySession",
+    "CIScenario",
+    "SweepSpec",
+    "SweepResult",
+    "run_sweep",
+    "run_sweep_scalar",
+    "Result",
     # facility
     "FacilityInventory",
     "FacilityPowerModel",

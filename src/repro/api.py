@@ -1,0 +1,259 @@
+"""Stable façade: one session object instead of deep imports.
+
+:class:`FacilitySession` owns the facility configuration (node count,
+utilisation, embodied audit, grid carbon-intensity scenario, service
+lifetime) and exposes the paper's §2–§5 questions as methods:
+
+* :meth:`FacilitySession.emissions` — scope-2/scope-3 lifetime breakdown;
+* :meth:`FacilitySession.efficiency` — Tables 3/4-style perf/energy ratios;
+* :meth:`FacilitySession.classify_regime` — which §2 regime applies;
+* :meth:`FacilitySession.advise` — §5 priority-weighted operating point;
+* :meth:`FacilitySession.sweep` — full what-if grids through the cached
+  vectorized engine.
+
+Quick start::
+
+    from repro.api import FacilitySession
+
+    session = FacilitySession(ci_g_per_kwh=190.0)
+    print(session.emissions()["total_tco2e"])
+    print(session.classify_regime().value)
+    best = session.advise()
+    print(best.config.label())
+    result = session.sweep()
+    print(result.to_table())
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .core.decision import ARCHER2_WINTER_2022, DecisionEngine, OperatingPointScore, Priorities
+from .core.efficiency import (
+    BASELINE_CONFIG,
+    POST_FREQ_CONFIG,
+    BenchmarkComparison,
+    OperatingConfig,
+    compare_app,
+    comparison_table,
+)
+from .core.emissions import EmbodiedProfile, EmissionsModel
+from .core.regimes import OptimisationTarget, Regime, advice, classify_ci
+from .engine.cache import LRUCache, SweepStore
+from .engine.plan import CIScenario, SweepSpec
+from .engine.runner import SweepResult, evaluate_scenario, run_sweep
+from .errors import ConfigurationError
+from .grid.trajectory import lifetime_average_ci
+from .node.calibration import build_node_model
+
+__all__ = ["FacilitySession"]
+
+#: ARCHER2 Winter-2022 grid carbon intensity, gCO2/kWh (paper §2).
+_DEFAULT_CI = 190.0
+
+
+class FacilitySession:
+    """One facility's configuration plus the paper's questions as methods.
+
+    All parameters default to the ARCHER2 case study: 5,860 nodes at 90 %
+    utilisation, a 6-year service lifetime, the Winter-2022 UK grid at
+    190 gCO2/kWh, and the embodied audit of 1.5 tCO2e per node plus
+    1,210 tCO2e of facility overhead.
+
+    ``ci`` accepts either a flat carbon intensity in gCO2/kWh (a float) or
+    a :class:`repro.engine.CIScenario` for decarbonising grids. Pass
+    ``cache_dir`` to persist sweep chunks across sessions; in-memory reuse
+    within a session is always on.
+    """
+
+    def __init__(
+        self,
+        *,
+        n_nodes: int = 5860,
+        utilisation: float = 0.9,
+        lifetime_years: float = 6.0,
+        ci_g_per_kwh: float | CIScenario = _DEFAULT_CI,
+        embodied_per_node_tco2e: float = 1.5,
+        embodied_overhead_tco2e: float = 1210.0,
+        compute_activity: float = 0.3,
+        memory_activity: float = 0.7,
+        config: OperatingConfig = BASELINE_CONFIG,
+        cache_dir: str | Path | None = None,
+    ) -> None:
+        if isinstance(ci_g_per_kwh, CIScenario):
+            self.ci = ci_g_per_kwh
+        else:
+            self.ci = CIScenario.flat(float(ci_g_per_kwh))
+        self.n_nodes = n_nodes
+        self.utilisation = utilisation
+        self.lifetime_years = lifetime_years
+        self.embodied_per_node_tco2e = embodied_per_node_tco2e
+        self.embodied_overhead_tco2e = embodied_overhead_tco2e
+        self.compute_activity = compute_activity
+        self.memory_activity = memory_activity
+        self.config = config
+        self.node_model = build_node_model()
+        self.memory_cache = LRUCache()
+        self.store = SweepStore(cache_dir) if cache_dir is not None else None
+        # The spec validators double as session-parameter validators.
+        self._point_spec(config)
+
+    # -- internals ---------------------------------------------------------
+
+    def _point_spec(self, config: OperatingConfig | None) -> SweepSpec:
+        """A single-scenario spec pinning every axis to the session values."""
+        config = config or self.config
+        return SweepSpec(
+            frequencies=(config.setting,),
+            bios_modes=(config.mode,),
+            ci_scenarios=(self.ci,),
+            utilisations=(self.utilisation,),
+            node_counts=(self.n_nodes,),
+            lifetimes_years=(self.lifetime_years,),
+            embodied_per_node_tco2e=self.embodied_per_node_tco2e,
+            embodied_overhead_tco2e=self.embodied_overhead_tco2e,
+            compute_activity=self.compute_activity,
+            memory_activity=self.memory_activity,
+        )
+
+    def _evaluate(self, config: OperatingConfig | None) -> dict[str, float]:
+        spec = self._point_spec(config)
+        return evaluate_scenario(spec, spec.scenario(0), self.node_model)
+
+    # -- §2: emissions and regimes -----------------------------------------
+
+    def mean_ci_g_per_kwh(self) -> float:
+        """Lifetime-average carbon intensity of the session's grid scenario."""
+        return lifetime_average_ci(self.ci.trajectory(), self.lifetime_years)
+
+    def mean_power_kw(self, config: OperatingConfig | None = None) -> float:
+        """Mean facility draw (busy/idle blended by utilisation), kW."""
+        return self._evaluate(config)["mean_power_kw"]
+
+    def emissions_model(self, config: OperatingConfig | None = None) -> EmissionsModel:
+        """The scope-2/scope-3 model at one operating point (session defaults)."""
+        return EmissionsModel(
+            embodied=EmbodiedProfile(
+                total_tco2e=self.embodied_overhead_tco2e
+                + self.embodied_per_node_tco2e * self.n_nodes,
+                lifetime_years=self.lifetime_years,
+            ),
+            mean_power_kw=self.mean_power_kw(config),
+        )
+
+    def emissions(self, config: OperatingConfig | None = None) -> dict[str, float]:
+        """Lifetime emissions at one operating point (default: the session's).
+
+        Returns the scalar engine row: ``mean_power_kw``,
+        ``annual_energy_kwh``, ``scope2_tco2e``, ``scope3_tco2e``,
+        ``total_tco2e``, ``scope2_share``, ``crossover_ci_g_per_kwh``,
+        ``crossing_year`` and friends.
+        """
+        return self._evaluate(config)
+
+    def classify_regime(self, ci_g_per_kwh: float | None = None) -> Regime:
+        """The §2 regime at a carbon intensity (default: the session mean)."""
+        ci = self.mean_ci_g_per_kwh() if ci_g_per_kwh is None else ci_g_per_kwh
+        return classify_ci(ci)
+
+    def optimisation_target(self, ci_g_per_kwh: float | None = None) -> OptimisationTarget:
+        """What the §2 regime says to optimise for (performance/balance/energy)."""
+        return advice(self.classify_regime(ci_g_per_kwh))
+
+    # -- §3/§4: efficiency -------------------------------------------------
+
+    def efficiency(
+        self,
+        candidate: OperatingConfig = POST_FREQ_CONFIG,
+        baseline: OperatingConfig | None = None,
+        app_name: str | None = None,
+    ) -> list[BenchmarkComparison]:
+        """Tables 3/4-style perf/energy ratios of ``candidate`` vs ``baseline``.
+
+        Covers the paper's curated benchmark apps, or a single catalogue app
+        when ``app_name`` is given.
+        """
+        from .workload.applications import full_catalogue, paper_curated_apps
+
+        baseline = baseline or self.config
+        catalogue = full_catalogue()
+        if app_name is not None:
+            try:
+                app = catalogue[app_name]
+            except KeyError:
+                raise ConfigurationError(
+                    f"unknown app {app_name!r}; choose from {sorted(catalogue)}"
+                ) from None
+            return [compare_app(app, candidate, baseline, self.node_model)]
+        curated = {
+            name: app for name, app in catalogue.items() if name in paper_curated_apps()
+        }
+        return comparison_table(curated, candidate, baseline, self.node_model)
+
+    # -- §5: decisions ------------------------------------------------------
+
+    def advise(
+        self, priorities: Priorities = ARCHER2_WINTER_2022
+    ) -> OperatingPointScore:
+        """Recommended operating point for the declared §5 priorities."""
+        from .workload.mix import archer2_mix
+
+        engine = DecisionEngine(
+            mix=archer2_mix(),
+            node_model=self.node_model,
+            emissions_model=self.emissions_model(),
+            ci_g_per_kwh=self.mean_ci_g_per_kwh(),
+            baseline=self.config,
+        )
+        return engine.recommend(priorities)
+
+    # -- sweeps --------------------------------------------------------------
+
+    def sweep(
+        self,
+        spec: SweepSpec | None = None,
+        *,
+        chunk_size: int = 4096,
+        workers: int = 0,
+        progress=None,
+        **overrides,
+    ) -> SweepResult:
+        """Evaluate a scenario grid through the cached vectorized engine.
+
+        With no arguments, sweeps every frequency × BIOS mode × default CI
+        scenario at the session's utilisation, node count and lifetime.
+        Keyword ``overrides`` are :class:`repro.engine.SweepSpec` fields
+        (e.g. ``utilisations=(0.5, 0.9)``); pass a full ``spec`` to take
+        complete control. Results are cached in memory (and on disk when
+        the session has a ``cache_dir``).
+        """
+        if spec is not None and overrides:
+            raise ConfigurationError("pass either a spec or field overrides, not both")
+        if spec is None:
+            fields = dict(
+                ci_scenarios=None,  # SweepSpec default (four grid scenarios)
+                utilisations=(self.utilisation,),
+                node_counts=(self.n_nodes,),
+                lifetimes_years=(self.lifetime_years,),
+                embodied_per_node_tco2e=self.embodied_per_node_tco2e,
+                embodied_overhead_tco2e=self.embodied_overhead_tco2e,
+                compute_activity=self.compute_activity,
+                memory_activity=self.memory_activity,
+            )
+            fields = {k: v for k, v in fields.items() if v is not None}
+            fields.update(overrides)
+            spec = SweepSpec(**fields)
+        return run_sweep(
+            spec,
+            chunk_size=chunk_size,
+            store=self.store,
+            memory_cache=self.memory_cache,
+            workers=workers,
+            progress=progress,
+        )
+
+    def invalidate_caches(self) -> None:
+        """Drop every cached sweep (memory, and disk when configured)."""
+        self.memory_cache.clear()
+        if self.store is not None:
+            self.store.clear()

@@ -1,11 +1,16 @@
-"""Command-line interface: ``python -m repro [experiment-id ...]``.
+"""Command-line interface: ``python -m repro <subcommand>``.
 
-With no arguments, runs the fast experiments (tables, regimes, A1/A2); pass
-ids (``T1 T2 T3 T4 F1 F2 F3 C1 R1 A1 A2 A3 A4``) or ``all`` to choose.
+Subcommands:
 
-``python -m repro monitor`` dispatches to the live monitoring subcommand
-(:mod:`repro.live.monitor`), which replays a figure-style telemetry scenario
-through the online pipeline. See ``repro monitor --help``.
+* ``repro run [ID ...]`` — run experiment drivers (tables, figures,
+  ablations); ``--list``, ``--validate`` and ``--export DIR`` live here.
+* ``repro monitor`` — the live facility monitoring pipeline
+  (:mod:`repro.live.monitor`).
+* ``repro sweep`` — plan/run/resume/export scenario sweeps through the
+  vectorized engine (:mod:`repro.engine.cli`).
+
+The legacy positional form (``python -m repro T1 T2``, ``--list`` at the
+top level) still works but prints a deprecation notice; use ``repro run``.
 """
 
 from __future__ import annotations
@@ -18,19 +23,21 @@ from .experiments import REGISTRY, run_experiment
 
 FAST_EXPERIMENTS = ["T1", "T2", "T3", "T4", "R1", "A1", "A2"]
 
+SUBCOMMANDS = ("run", "monitor", "sweep")
 
-def build_parser() -> argparse.ArgumentParser:
-    """The CLI argument parser (exposed for tests)."""
+
+def build_parser(prog: str = "repro run") -> argparse.ArgumentParser:
+    """The ``repro run`` argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
-        prog="repro",
+        prog=prog,
         description=(
             "Reproduce the ARCHER2 emissions/energy-efficiency case study "
             "(SC 2023) on a simulated facility."
         ),
         epilog=(
-            "Subcommands: 'repro monitor' runs the live facility monitoring "
-            "pipeline (online change detection, regime tracking, intervention "
-            "advice); see 'repro monitor --help'."
+            "Other subcommands: 'repro monitor' runs the live facility "
+            "monitoring pipeline; 'repro sweep' plans/runs/exports scenario "
+            "sweeps through the vectorized engine. See their --help."
         ),
     )
     parser.add_argument(
@@ -57,15 +64,9 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
-    if argv is None:
-        argv = sys.argv[1:]
-    if argv and argv[0] == "monitor":
-        from .live.monitor import monitor_main
-
-        return monitor_main(argv[1:])
-    args = build_parser().parse_args(argv)
+def run_main(argv: list[str], prog: str = "repro run") -> int:
+    """``repro run`` entry point; returns a process exit code."""
+    args = build_parser(prog).parse_args(argv)
     if args.list:
         for exp_id in sorted(REGISTRY):
             print(exp_id)
@@ -96,6 +97,31 @@ def main(argv: list[str] | None = None) -> int:
             print(f"(exported {len(written)} file(s) to {args.export})")
         print()
     return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; dispatches subcommands, returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "monitor":
+        from .live.monitor import monitor_main
+
+        return monitor_main(argv[1:])
+    if argv and argv[0] == "sweep":
+        from .engine.cli import sweep_main
+
+        return sweep_main(argv[1:])
+    if argv and argv[0] == "run":
+        return run_main(argv[1:])
+    # Legacy positional form: `python -m repro T1 T2` / top-level --list.
+    if argv and not any(arg in ("-h", "--help") for arg in argv):
+        print(
+            "note: the bare experiment form is deprecated; use 'repro run "
+            + " ".join(argv)
+            + "'",
+            file=sys.stderr,
+        )
+    return run_main(argv, prog="repro")
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,54 @@
+"""Declarative, vectorized, cached scenario-sweep engine.
+
+The ROADMAP's "sharding, batching, caching" layer: describe a grid of
+operating scenarios once (:class:`SweepSpec`), evaluate it in numpy-chunked
+batches (:func:`run_sweep`, with :func:`run_sweep_scalar` as the exact-match
+regression oracle), and reuse results through an in-memory LRU plus an
+on-disk content-addressed store keyed by spec hash and engine version.
+
+Most callers reach this through :meth:`repro.api.FacilitySession.sweep` or
+the ``repro sweep`` CLI subcommand.
+"""
+
+from .plan import (
+    ENGINE_VERSION,
+    CIScenario,
+    Scenario,
+    SweepSpec,
+    default_ci_scenarios,
+)
+from .cache import LRUCache, SweepStore
+from .runner import (
+    COLUMNS,
+    SweepMeta,
+    SweepResult,
+    evaluate_scenario,
+    run_sweep,
+    run_sweep_scalar,
+)
+from .scenarios import (
+    ScenarioPoint,
+    ci_sweep,
+    lifetime_sensitivity,
+    regime_boundaries_map,
+)
+
+__all__ = [
+    "ENGINE_VERSION",
+    "CIScenario",
+    "Scenario",
+    "SweepSpec",
+    "default_ci_scenarios",
+    "LRUCache",
+    "SweepStore",
+    "COLUMNS",
+    "SweepMeta",
+    "SweepResult",
+    "evaluate_scenario",
+    "run_sweep",
+    "run_sweep_scalar",
+    "ScenarioPoint",
+    "ci_sweep",
+    "lifetime_sensitivity",
+    "regime_boundaries_map",
+]

@@ -48,7 +48,7 @@ CHRISTMAS_WINDOW_S = (23 * SECONDS_PER_DAY, 33 * SECONDS_PER_DAY)
 
 @dataclass(frozen=True)
 class ExperimentResult:
-    """Canonical experiment output."""
+    """Canonical experiment output (implements :class:`repro.results.Result`)."""
 
     experiment_id: str
     title: str
@@ -57,12 +57,42 @@ class ExperimentResult:
     series: dict[str, TimeSeries] = field(default_factory=dict)
 
     def __str__(self) -> str:
+        return self.to_table()
+
+    @property
+    def result_id(self) -> str:
+        """Stable identifier (the experiment id, e.g. ``"T4"``)."""
+        return self.experiment_id
+
+    def to_dict(self) -> dict:
+        """JSON-able summary: ids, headline numbers and series shapes."""
+        return {
+            "result_id": self.experiment_id,
+            "kind": "experiment",
+            "title": self.title,
+            "headline": dict(self.headline),
+            "series": {name: len(s) for name, s in self.series.items()},
+        }
+
+    def to_table(self) -> str:
+        """Rendered table plus the headline numbers the paper reports."""
         lines = [f"[{self.experiment_id}] {self.title}", self.table]
         if self.headline:
             lines.append("headline:")
             for key, value in self.headline.items():
                 lines.append(f"  {key} = {value:.4g}")
         return "\n".join(lines)
+
+    def to_csv_rows(self) -> dict[str, list[list[str]]]:
+        """One CSV per carried time series, in the figure-export format."""
+        out: dict[str, list[list[str]]] = {}
+        for name, series in self.series.items():
+            rows = [["time_s", "value_kw"]]
+            rows.extend(
+                [f"{t:.1f}", f"{v:.3f}"] for t, v in zip(series.times_s, series.values)
+            )
+            out[name] = rows
+        return out
 
 
 def default_node_model() -> NodePowerModel:

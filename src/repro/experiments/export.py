@@ -1,38 +1,28 @@
 """Artefact export: write every experiment's table and figure data to disk.
 
-``python -m repro --export out/`` produces, for each experiment, a
+``python -m repro run --export out/`` produces, for each experiment, a
 ``<id>.txt`` with the rendered table and headline numbers, plus a
 ``<id>_<series>.csv`` for every time series the experiment carries (the
 figure data behind F1–F3) — everything needed to re-plot the paper's
 figures with any external tool.
+
+Since every experiment (and sweep) implements the
+:class:`repro.results.Result` protocol, export here is just the generic
+:func:`repro.results.write_result` — no per-type branches.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
 
-from ..core.reporting import series_to_csv
-from .common import ExperimentResult
+from ..results import Result, write_result
 
 __all__ = ["export_result", "export_all"]
 
 
-def export_result(result: ExperimentResult, out_dir: str | Path) -> list[Path]:
-    """Write one experiment's artefacts; returns the created paths."""
-    out = Path(out_dir)
-    out.mkdir(parents=True, exist_ok=True)
-    written: list[Path] = []
-
-    text_path = out / f"{result.experiment_id}.txt"
-    text_path.write_text(str(result) + "\n")
-    written.append(text_path)
-
-    for name, series in result.series.items():
-        safe = name.replace("/", "_")
-        csv_path = out / f"{result.experiment_id}_{safe}.csv"
-        series_to_csv(series, csv_path)
-        written.append(csv_path)
-    return written
+def export_result(result: Result, out_dir: str | Path) -> list[Path]:
+    """Write one result's artefacts; returns the created paths."""
+    return write_result(result, out_dir)
 
 
 def export_all(

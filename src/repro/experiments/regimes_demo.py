@@ -15,7 +15,7 @@ import numpy as np
 from ..core.emissions import EmbodiedProfile, EmissionsModel
 from ..core.regimes import advice, derive_band
 from ..core.reporting import render_table
-from ..analysis.scenarios import ci_sweep
+from ..engine.scenarios import ci_sweep
 from .common import ExperimentResult
 
 __all__ = ["run"]

@@ -1,0 +1,70 @@
+"""The library-wide result protocol and its generic file exporter.
+
+Every runnable artefact — the experiments in
+:data:`repro.experiments.REGISTRY` and the sweep outputs of
+:mod:`repro.engine` — presents the same three views:
+
+* :meth:`Result.to_dict` — a JSON-able summary (ids, headline numbers,
+  provenance) for programmatic consumers;
+* :meth:`Result.to_table` — the rendered monospace table a human reads;
+* :meth:`Result.to_csv_rows` — named grids of pre-formatted strings, one
+  per CSV artefact, for plotting tools.
+
+:func:`write_result` turns any object satisfying the protocol into files
+(``<result_id>.txt`` plus ``<result_id>_<name>.csv``) with no
+type-specific branches, so new result kinds export for free.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Protocol, runtime_checkable
+
+__all__ = ["Result", "write_result"]
+
+
+@runtime_checkable
+class Result(Protocol):
+    """Structural interface of every runnable artefact's output."""
+
+    @property
+    def result_id(self) -> str:
+        """Stable identifier used for file names and lookups."""
+        ...
+
+    def to_dict(self) -> dict:
+        """JSON-able summary of the result."""
+        ...
+
+    def to_table(self) -> str:
+        """Human-readable rendering (the ``.txt`` artefact body)."""
+        ...
+
+    def to_csv_rows(self) -> dict[str, list[list[str]]]:
+        """CSV artefacts: name → rows (header first), cells pre-formatted."""
+        ...
+
+
+def write_result(result: Result, out_dir: str | Path) -> list[Path]:
+    """Write one result's artefacts; returns the created paths.
+
+    Produces ``<result_id>.txt`` with the rendered table and one
+    ``<result_id>_<name>.csv`` per entry of :meth:`Result.to_csv_rows`
+    (``/`` in names is replaced with ``_`` for the file system).
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+
+    text_path = out / f"{result.result_id}.txt"
+    text_path.write_text(result.to_table() + "\n")
+    written.append(text_path)
+
+    for name, rows in result.to_csv_rows().items():
+        safe = name.replace("/", "_")
+        csv_path = out / f"{result.result_id}_{safe}.csv"
+        with csv_path.open("w", newline="") as fh:
+            csv.writer(fh).writerows(rows)
+        written.append(csv_path)
+    return written

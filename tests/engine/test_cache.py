@@ -1,0 +1,153 @@
+"""Cache correctness: LRU behaviour, disk store integrity, invalidation."""
+
+import concurrent.futures
+
+import numpy as np
+import pytest
+
+from repro.engine.cache import LRUCache, SweepStore
+from repro.engine.plan import CIScenario, SweepSpec
+from repro.engine.runner import COLUMNS, run_sweep
+from repro.errors import ConfigurationError
+from repro.node.determinism import DeterminismMode
+from repro.node.pstates import FrequencySetting
+
+
+def small_spec(**overrides):
+    fields = dict(
+        frequencies=(FrequencySetting.GHZ_2_0,),
+        bios_modes=(DeterminismMode.POWER, DeterminismMode.PERFORMANCE),
+        ci_scenarios=(CIScenario.flat(25.0), CIScenario.flat(190.0)),
+        utilisations=(0.5, 0.9),
+        node_counts=(1000,),
+        lifetimes_years=(6.0,),
+    )
+    fields.update(overrides)
+    return SweepSpec(**fields)
+
+
+class TestLRUCache:
+    def test_get_put_and_counters(self):
+        lru = LRUCache(max_entries=2)
+        assert lru.get("a") is None
+        lru.put("a", 1)
+        assert lru.get("a") == 1
+        assert (lru.hits, lru.misses) == (1, 1)
+
+    def test_evicts_least_recently_used(self):
+        lru = LRUCache(max_entries=2)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        lru.get("a")  # refresh a; b becomes LRU
+        lru.put("c", 3)
+        assert "b" not in lru
+        assert "a" in lru and "c" in lru
+
+    def test_invalidate_and_clear(self):
+        lru = LRUCache()
+        lru.put("a", 1)
+        assert lru.invalidate("a")
+        assert not lru.invalidate("a")
+        lru.put("b", 2)
+        lru.clear()
+        assert len(lru) == 0
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ConfigurationError):
+            LRUCache(max_entries=0)
+
+
+class TestSweepStoreChunks:
+    def test_round_trip_is_byte_identical(self, tmp_path):
+        spec = small_spec()
+        store = SweepStore(tmp_path)
+        fresh = run_sweep(spec, chunk_size=3, store=store)
+        replay = run_sweep(spec, chunk_size=3, store=SweepStore(tmp_path))
+        assert replay.meta.computed_chunks == 0
+        for name in COLUMNS:
+            assert fresh.columns[name].tobytes() == replay.columns[name].tobytes()
+            assert fresh.columns[name].dtype == replay.columns[name].dtype
+
+    def test_corrupt_chunk_is_treated_as_miss_and_removed(self, tmp_path):
+        spec = small_spec()
+        store = SweepStore(tmp_path)
+        run_sweep(spec, chunk_size=4, store=store)
+        chunk = store.chunk_path(spec.spec_hash, 0, 4)
+        chunk.write_bytes(b"not a zip file")
+        assert store.get_chunk(spec.spec_hash, 0, 4, COLUMNS) is None
+        assert not chunk.exists()
+        # A re-run recomputes the damaged chunk and still matches.
+        again = run_sweep(spec, chunk_size=4, store=store)
+        clean = run_sweep(spec, chunk_size=4)
+        for name in COLUMNS:
+            assert again.columns[name].tobytes() == clean.columns[name].tobytes()
+
+    def test_wrong_row_count_is_rejected(self, tmp_path):
+        spec = small_spec()
+        store = SweepStore(tmp_path)
+        run_sweep(spec, chunk_size=4, store=store)
+        # Claim rows [0, 5) with a 4-row payload.
+        good = store.chunk_path(spec.spec_hash, 0, 4)
+        bad = store.chunk_path(spec.spec_hash, 0, 5)
+        bad.write_bytes(good.read_bytes())
+        assert store.get_chunk(spec.spec_hash, 0, 5, COLUMNS) is None
+
+    def test_cached_chunks_lists_ranges(self, tmp_path):
+        spec = small_spec()
+        store = SweepStore(tmp_path)
+        run_sweep(spec, chunk_size=3, store=store)
+        assert store.cached_chunks(spec.spec_hash) == [(0, 3), (3, 6), (6, 8)]
+
+
+class TestInvalidation:
+    def test_any_spec_field_change_misses(self, tmp_path):
+        store = SweepStore(tmp_path)
+        run_sweep(small_spec(), chunk_size=8, store=store)
+        changed = small_spec(utilisations=(0.5, 0.91))
+        result = run_sweep(changed, chunk_size=8, store=store)
+        assert result.meta.disk_hits == 0
+        assert result.meta.computed_chunks > 0
+
+    def test_engine_version_bump_orphans_entries(self, tmp_path):
+        spec = small_spec()
+        run_sweep(spec, chunk_size=8, store=SweepStore(tmp_path))
+        future = SweepStore(tmp_path, engine_version="999")
+        assert future.get_chunk(spec.spec_hash, 0, 8, COLUMNS) is None
+
+    def test_explicit_invalidate_forces_recompute(self, tmp_path):
+        spec = small_spec()
+        store = SweepStore(tmp_path)
+        run_sweep(spec, chunk_size=8, store=store)
+        assert store.invalidate(spec.spec_hash) > 0
+        result = run_sweep(spec, chunk_size=8, store=store)
+        assert result.meta.disk_hits == 0
+
+    def test_memory_cache_is_version_keyed_and_clearable(self):
+        spec = small_spec()
+        lru = LRUCache()
+        run_sweep(spec, memory_cache=lru)
+        assert run_sweep(spec, memory_cache=lru).meta.memory_hit
+        lru.clear()
+        assert not run_sweep(spec, memory_cache=lru).meta.memory_hit
+
+
+class TestConcurrentWriters:
+    def test_parallel_writers_do_not_corrupt(self, tmp_path):
+        spec = small_spec()
+        reference = run_sweep(spec, chunk_size=2)
+
+        def writer(_):
+            store = SweepStore(tmp_path)
+            return run_sweep(spec, chunk_size=2, store=store)
+
+        with concurrent.futures.ThreadPoolExecutor(max_workers=4) as pool:
+            results = list(pool.map(writer, range(8)))
+        for result in results:
+            for name in COLUMNS:
+                assert np.array_equal(
+                    result.columns[name], reference.columns[name], equal_nan=True
+                )
+        replay = run_sweep(spec, chunk_size=2, store=SweepStore(tmp_path))
+        assert replay.meta.computed_chunks == 0
+        for name in COLUMNS:
+            assert replay.columns[name].tobytes() == reference.columns[name].tobytes()

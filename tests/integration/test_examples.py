@@ -15,6 +15,7 @@ EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
 
 CASES = {
     "quickstart.py": ["mean compute-cabinet power", "crossover"],
+    "facility_session.py": ["recommended config", "swept 216 scenarios"],
     "frequency_sweep.py": ["module-reset rule", "Energy-optimal freq"],
     "emissions_planning.py": ["Recommended config", "2.0GHz / performance-determinism"],
     "grid_citizenship.py": ["freed for the grid", "Scope-2 emissions"],

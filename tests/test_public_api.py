@@ -19,6 +19,9 @@ PACKAGES = [
     "repro.analysis",
     "repro.live",
     "repro.experiments",
+    "repro.api",
+    "repro.engine",
+    "repro.engine.cli",
 ]
 
 
@@ -50,8 +53,47 @@ class TestExports:
             "archer2_mix",
             "classify_ci",
             "DecisionEngine",
+            "FacilitySession",
+            "SweepSpec",
+            "run_sweep",
         ):
             assert hasattr(repro, name), name
+
+    def test_facade_covers_quickstart_without_deep_imports(self):
+        """`from repro.api import FacilitySession` answers §2–§5 end-to-end."""
+        from repro.api import FacilitySession
+
+        session = FacilitySession(ci_g_per_kwh=190.0)
+        emissions = session.emissions()
+        assert emissions["total_tco2e"] > 0
+        assert session.classify_regime().value == "scope2-dominated"
+        assert session.advise().config.label() == "2.0GHz / performance-determinism"
+        result = session.sweep(utilisations=(0.9,), node_counts=(1000,))
+        assert len(result) > 0
+        assert "SWEEP-" in result.to_table()
+
+    def test_deprecated_scenario_paths_still_work_and_warn(self):
+        """The pre-engine deep-import paths keep working behind warnings."""
+        import importlib
+        import sys
+        import warnings
+
+        import repro.analysis
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            fn = repro.analysis.ci_sweep
+        assert callable(fn)
+        assert any(issubclass(w.category, DeprecationWarning) for w in caught)
+
+        sys.modules.pop("repro.analysis.scenarios", None)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            legacy = importlib.import_module("repro.analysis.scenarios")
+        assert any(issubclass(w.category, DeprecationWarning) for w in caught)
+        from repro.engine.scenarios import ci_sweep
+
+        assert legacy.ci_sweep is ci_sweep
 
     def test_docstrings_on_public_callables(self):
         """Every advertised public object carries a docstring."""

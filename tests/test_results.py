@@ -1,0 +1,68 @@
+"""Result protocol: every registry experiment and sweep output conforms."""
+
+import numpy as np
+
+from repro.engine import SweepSpec, run_sweep
+from repro.experiments import REGISTRY
+from repro.experiments.common import ExperimentResult
+from repro.results import Result, write_result
+from repro.telemetry.series import TimeSeries
+
+
+def stub_experiment():
+    return ExperimentResult(
+        experiment_id="T9",
+        title="stub",
+        table="| a |",
+        headline={"x": 1.0},
+        series={"measured_kw": TimeSeries(900.0 * np.arange(10), np.full(10, 3220.0))},
+    )
+
+
+class TestProtocolConformance:
+    def test_experiment_result_satisfies_protocol(self):
+        assert isinstance(stub_experiment(), Result)
+
+    def test_sweep_result_satisfies_protocol(self):
+        result = run_sweep(SweepSpec(utilisations=(0.9,), node_counts=(1000,)))
+        assert isinstance(result, Result)
+
+    def test_every_registry_experiment_returns_protocol_type(self):
+        """All REGISTRY callables are annotated to return ExperimentResult,
+        which satisfies the protocol — run the cheapest one to prove it."""
+        result = REGISTRY["T1"]()
+        assert isinstance(result, Result)
+        assert result.result_id == "T1"
+        assert result.to_dict()["kind"] == "experiment"
+        assert result.to_table() == str(result)
+
+    def test_experiment_to_csv_rows_matches_legacy_format(self):
+        rows = stub_experiment().to_csv_rows()["measured_kw"]
+        assert rows[0] == ["time_s", "value_kw"]
+        assert rows[1] == ["0.0", "3220.000"]
+        assert len(rows) == 11
+
+
+class TestWriteResult:
+    def test_writes_txt_and_csv(self, tmp_path):
+        written = write_result(stub_experiment(), tmp_path)
+        assert sorted(p.name for p in written) == ["T9.txt", "T9_measured_kw.csv"]
+        assert (tmp_path / "T9.txt").read_text().endswith("\n")
+
+    def test_sweep_and_experiment_share_one_exporter(self, tmp_path):
+        sweep = run_sweep(SweepSpec(utilisations=(0.9,), node_counts=(1000,)))
+        written = write_result(sweep, tmp_path)
+        names = sorted(p.name for p in written)
+        assert names == [f"{sweep.result_id}.txt", f"{sweep.result_id}_scenarios.csv"]
+        csv_lines = (tmp_path / names[1]).read_text().splitlines()
+        assert len(csv_lines) == len(sweep) + 1
+
+    def test_slash_in_series_name_is_sanitised(self, tmp_path):
+        result = ExperimentResult(
+            experiment_id="T9",
+            title="stub",
+            table="| a |",
+            series={"a/b": TimeSeries(np.array([0.0]), np.array([1.0]))},
+        )
+        written = write_result(result, tmp_path)
+        assert (tmp_path / "T9_a_b.csv") in written
