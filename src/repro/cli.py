@@ -8,6 +8,8 @@ Subcommands:
   (:mod:`repro.live.monitor`).
 * ``repro sweep`` — plan/run/resume/export scenario sweeps through the
   vectorized engine (:mod:`repro.engine.cli`).
+* ``repro lint`` — AST-based contract checker over the repo's own source
+  (:mod:`repro.lint.cli`).
 
 The legacy positional form (``python -m repro T1 T2``, ``--list`` at the
 top level) still works but prints a deprecation notice; use ``repro run``.
@@ -23,7 +25,7 @@ from .experiments import REGISTRY, run_experiment
 
 FAST_EXPERIMENTS = ["T1", "T2", "T3", "T4", "R1", "A1", "A2"]
 
-SUBCOMMANDS = ("run", "monitor", "sweep")
+SUBCOMMANDS = ("run", "monitor", "sweep", "lint")
 
 
 def build_parser(prog: str = "repro run") -> argparse.ArgumentParser:
@@ -37,7 +39,8 @@ def build_parser(prog: str = "repro run") -> argparse.ArgumentParser:
         epilog=(
             "Other subcommands: 'repro monitor' runs the live facility "
             "monitoring pipeline; 'repro sweep' plans/runs/exports scenario "
-            "sweeps through the vectorized engine. See their --help."
+            "sweeps through the vectorized engine; 'repro lint' runs the "
+            "AST-based contract checker. See their --help."
         ),
     )
     parser.add_argument(
@@ -111,6 +114,10 @@ def main(argv: list[str] | None = None) -> int:
         from .engine.cli import sweep_main
 
         return sweep_main(argv[1:])
+    if argv and argv[0] == "lint":
+        from .lint.cli import lint_main
+
+        return lint_main(argv[1:])
     if argv and argv[0] == "run":
         return run_main(argv[1:])
     # Legacy positional form: `python -m repro T1 T2` / top-level --list.

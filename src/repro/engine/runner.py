@@ -215,6 +215,7 @@ def _evaluate_chunk(ctx: _Context, lo: int, hi: int) -> dict[str, np.ndarray]:
     floor = ctx.ci_floor[i_c]
     with np.errstate(divide="ignore", invalid="ignore"):
         years = np.log(crossover / start) / np.log(1.0 - rate)
+    # lint: exact-float -- mirrors the scalar config sentinel bit-for-bit
     years = np.where(rate == 0.0, np.inf, years)
     years = np.where(crossover < floor, np.inf, years)
     years = np.where(crossover >= start, 0.0, years)

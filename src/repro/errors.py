@@ -20,6 +20,7 @@ __all__ = [
     "MonitoringError",
     "CheckpointError",
     "ExperimentError",
+    "LintError",
 ]
 
 
@@ -69,3 +70,7 @@ class CheckpointError(MonitoringError):
 
 class ExperimentError(HpcemError):
     """An experiment driver could not reproduce its paper artefact."""
+
+
+class LintError(HpcemError):
+    """The static-analysis pass was misconfigured or could not run."""

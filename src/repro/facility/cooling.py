@@ -81,7 +81,7 @@ class CoolingModel:
         """
         ensure_nonnegative(heat_load_kw, "heat_load_kw")
         base_kw = sum(e.loaded_power_w for e in self._cdus) / 1e3
-        if self.variable_fraction == 0.0:
+        if self.variable_fraction == 0.0:  # lint: exact-float -- config sentinel
             return base_kw
         util = min(heat_load_kw / self.capacity_kw, 1.0)
         fixed = base_kw * (1.0 - self.variable_fraction)

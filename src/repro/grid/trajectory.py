@@ -10,6 +10,7 @@ scope-2-dominated (optimise energy efficiency) and ending scope-3-dominated
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -56,7 +57,7 @@ class DecarbonisationTrajectory:
             return 0.0
         if target_ci_g_per_kwh < self.floor_g_per_kwh:
             return float("inf")
-        if self.annual_reduction == 0.0:
+        if self.annual_reduction == 0.0:  # lint: exact-float -- config sentinel
             return float("inf")
         return float(
             np.log(target_ci_g_per_kwh / self.start_ci_g_per_kwh)
@@ -90,6 +91,6 @@ def regime_crossing_year(
     """
     ensure_positive(lifetime_years, "lifetime_years")
     year = trajectory.years_to_reach(crossover_ci_g_per_kwh)
-    if year == float("inf") or year > lifetime_years:
+    if math.isinf(year) or year > lifetime_years:
         return None
     return year

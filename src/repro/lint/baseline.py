@@ -1,0 +1,89 @@
+"""Baseline file: grandfathered findings that do not fail the build.
+
+A baseline is a JSON map of finding fingerprints (content-addressed, line-
+number free) to a human-readable record of what was grandfathered.  The
+workflow:
+
+1. ``repro lint --write-baseline`` records every current finding.
+2. Subsequent runs report baselined findings separately and exit zero unless
+   a *new* finding (fingerprint not in the file) appears.
+3. Fixing a grandfathered finding leaves a stale entry; the engine reports
+   stale fingerprints so the file can be re-written and ratcheted down.
+
+The file is committed next to ``pyproject.toml`` (default name
+``lint-baseline.json``) so the grandfather list is reviewed like any code.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from ..errors import LintError
+from .findings import Finding
+
+__all__ = ["BASELINE_VERSION", "DEFAULT_BASELINE_NAME", "Baseline"]
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+class Baseline:
+    """A set of grandfathered finding fingerprints with provenance."""
+
+    def __init__(self, entries: dict[str, dict] | None = None) -> None:
+        self.entries: dict[str, dict] = dict(entries or {})
+
+    def __contains__(self, finding: Finding) -> bool:
+        return finding.fingerprint in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        """Grandfather every given finding."""
+        entries = {
+            f.fingerprint: {
+                "path": f.path,
+                "code": f.code,
+                "snippet": f.snippet.strip(),
+            }
+            for f in findings
+        }
+        return cls(entries)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; raises :class:`LintError` on bad content."""
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise LintError(f"cannot read baseline {path}: {exc}") from exc
+        if (
+            not isinstance(payload, dict)
+            or payload.get("version") != BASELINE_VERSION
+            or not isinstance(payload.get("fingerprints"), dict)
+        ):
+            raise LintError(
+                f"baseline {path} is not a version-{BASELINE_VERSION} "
+                "repro-lint baseline"
+            )
+        return cls(payload["fingerprints"])
+
+    def dump(self, path: Path) -> None:
+        """Write the baseline deterministically (sorted, trailing newline)."""
+        payload = {
+            "version": BASELINE_VERSION,
+            "fingerprints": dict(sorted(self.entries.items())),
+        }
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    def stale_fingerprints(self, findings: Iterable[Finding]) -> list[str]:
+        """Entries no longer matched by any current finding (fixed since)."""
+        live = {f.fingerprint for f in findings}
+        return sorted(fp for fp in self.entries if fp not in live)

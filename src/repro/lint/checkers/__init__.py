@@ -1,0 +1,12 @@
+"""Built-in contract checkers.
+
+Importing this package registers every built-in checker with
+:data:`repro.lint.registry.REGISTRY`; third-party checkers register the same
+way by calling :func:`repro.lint.registry.register` themselves.
+"""
+
+from __future__ import annotations
+
+from . import determinism, floatcmp, publicapi, statedict, units
+
+__all__ = ["units", "determinism", "floatcmp", "statedict", "publicapi"]

@@ -1,0 +1,102 @@
+"""Float-equality checker (REP301).
+
+``==``/``!=`` between floats is only sound at *exact sentinels* — values that
+were stored, never computed (a config default of exactly ``0.0``, an ``inf``
+returned as-is).  Everywhere else it silently becomes "never equal" after one
+arithmetic step.  This checker flags equality comparisons where either side
+is visibly float-typed:
+
+* a float literal (``x == 0.0``, ``y != 1.5``),
+* a ``float(...)`` call (``year == float("inf")``),
+* ``math.nan`` / ``math.inf`` / ``numpy.nan`` / ``numpy.inf`` attributes
+  (NaN compares unequal even to itself — use ``math.isnan``).
+
+Reviewed sentinel sites stay, annotated in place::
+
+    if self.variable_fraction == 0.0:  # lint: exact-float -- config sentinel
+
+Computed values should use ``math.isclose``, an explicit epsilon, or
+``math.isinf``/``math.isnan`` for the special values.  Test code is exempt by
+path: asserting bit-exact results is the *point* of a regression test.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..context import FileContext, ProjectContext
+from ..findings import Finding
+from ..registry import Checker, register
+
+__all__ = ["FloatEqualityChecker"]
+
+_SPECIAL_ATTRS = frozenset({"nan", "inf"})
+_SPECIAL_ROOTS = frozenset({"math", "np", "numpy"})
+
+
+def _is_floatish(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp):
+        return _is_floatish(node.operand)
+    if isinstance(node, ast.Call):
+        return isinstance(node.func, ast.Name) and node.func.id == "float"
+    if isinstance(node, ast.Attribute):
+        return (
+            node.attr in _SPECIAL_ATTRS
+            and isinstance(node.value, ast.Name)
+            and node.value.id in _SPECIAL_ROOTS
+        )
+    return False
+
+
+def _describe(node: ast.expr) -> str:
+    if isinstance(node, ast.Constant):
+        return repr(node.value)
+    if isinstance(node, ast.Call):
+        return "float(...)"
+    if isinstance(node, ast.Attribute):
+        return f"{getattr(node.value, 'id', '?')}.{node.attr}"
+    return "a float"
+
+
+@register
+class FloatEqualityChecker(Checker):
+    """Flag ==/!= against visibly float-typed operands outside sentinels."""
+
+    name = "float-equality"
+    codes = {
+        "REP301": "exact ==/!= on float-typed operands",
+    }
+
+    def applies_to(self, rel: str) -> bool:
+        # Exact assertions are intentional in tests and benchmarks.
+        return rel.endswith(".py") and not rel.startswith(
+            ("tests/", "benchmarks/")
+        )
+
+    def check(
+        self, ctx: FileContext, project: ProjectContext
+    ) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                floatish = next(
+                    (x for x in (left, right) if _is_floatish(x)), None
+                )
+                if floatish is None:
+                    continue
+                symbol = "==" if isinstance(op, ast.Eq) else "!="
+                yield self.finding(
+                    ctx,
+                    node,
+                    "REP301",
+                    f"exact {symbol} against {_describe(floatish)}; use "
+                    "math.isclose/an epsilon (or annotate a reviewed "
+                    "sentinel with '# lint: exact-float')",
+                )

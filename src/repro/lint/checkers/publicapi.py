@@ -1,0 +1,228 @@
+"""Public-API drift checker (REP501, REP502).
+
+The package's advertised surface lives in three places that must agree: each
+module's ``__all__``, the top-level re-exports in ``repro/__init__.py``, and
+the contract test ``tests/test_public_api.py``.  They drift independently —
+a renamed function leaves a dangling ``__all__`` entry, a new subpackage
+ships without joining the contract — so the checker ties them together:
+
+* **REP501** — a name in a module's ``__all__`` does not resolve to anything
+  defined or imported in that module (checked from the AST; modules with a
+  dynamic ``__getattr__`` or star import are skipped — they resolve at
+  runtime and the import-time contract test covers them).
+* **REP502** — cross-file drift: a quickstart name in the contract test is
+  missing from ``repro/__init__.__all__``, a ``PACKAGES`` entry points at a
+  module that no longer exists, or a ``repro`` subpackage is absent from the
+  contract test's ``PACKAGES`` list entirely.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable
+
+from ..context import FileContext, ProjectContext
+from ..findings import Finding
+from ..registry import Checker, register
+
+__all__ = ["PublicApiChecker"]
+
+_INIT_REL = "src/repro/__init__.py"
+_CONTRACT_REL = "tests/test_public_api.py"
+
+
+def _top_level_definitions(tree: ast.Module) -> tuple[set[str], bool]:
+    """(names defined/imported at module level, module-is-dynamic flag)."""
+    names: set[str] = set()
+    dynamic = False
+
+    def visit_block(body: list[ast.stmt]) -> None:
+        nonlocal dynamic
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                names.add(stmt.name)
+                if stmt.name == "__getattr__":
+                    dynamic = True
+            elif isinstance(stmt, ast.ClassDef):
+                names.add(stmt.name)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    _collect_targets(target)
+            elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+                _collect_targets(stmt.target)
+            elif isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    names.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(stmt, ast.ImportFrom):
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        dynamic = True
+                    else:
+                        names.add(alias.asname or alias.name)
+            elif isinstance(stmt, (ast.If, ast.Try, ast.With, ast.For, ast.While)):
+                for attr in ("body", "orelse", "finalbody", "handlers"):
+                    sub = getattr(stmt, attr, None)
+                    if not sub:
+                        continue
+                    for item in sub:
+                        if isinstance(item, ast.ExceptHandler):
+                            visit_block(item.body)
+                        elif isinstance(item, ast.stmt):
+                            visit_block([item])
+
+    def _collect_targets(target: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            names.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                _collect_targets(element)
+
+    visit_block(tree.body)
+    return names, dynamic
+
+
+def _literal_str_list(node: ast.expr) -> list[str] | None:
+    if not isinstance(node, (ast.List, ast.Tuple)):
+        return None
+    out: list[str] = []
+    for element in node.elts:
+        if isinstance(element, ast.Constant) and isinstance(element.value, str):
+            out.append(element.value)
+        else:
+            return None
+    return out
+
+
+def _find_all_assignment(
+    tree: ast.Module, name: str = "__all__"
+) -> tuple[ast.Assign | None, list[str] | None]:
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    return stmt, _literal_str_list(stmt.value)
+    return None, None
+
+
+@register
+class PublicApiChecker(Checker):
+    """Keep ``__all__``, top-level re-exports and the contract test in sync."""
+
+    name = "public-api"
+    scope = "project"
+    codes = {
+        "REP501": "__all__ advertises a name the module does not define",
+        "REP502": "public-API contract drift between __init__ and its test",
+    }
+
+    def applies_to(self, rel: str) -> bool:
+        return rel.endswith(".py") and not rel.startswith("benchmarks/")
+
+    def check_project(self, project: ProjectContext) -> Iterable[Finding]:
+        for ctx in project.files:
+            if self.applies_to(ctx.rel):
+                yield from self._check_all_resolves(ctx)
+        yield from self._check_contract(project)
+
+    def _check_all_resolves(self, ctx: FileContext) -> Iterable[Finding]:
+        assign, exported = _find_all_assignment(ctx.tree)
+        if assign is None or exported is None:
+            return  # no __all__, or built dynamically: nothing to verify
+        defined, dynamic = _top_level_definitions(ctx.tree)
+        if dynamic:
+            return
+        for name in exported:
+            if name == "__version__":
+                continue  # dunder assignments are collected, but be explicit
+            if name not in defined:
+                yield self.finding(
+                    ctx,
+                    assign,
+                    "REP501",
+                    f"__all__ lists {name!r} but nothing in the module "
+                    "defines or imports it",
+                )
+
+    def _check_contract(self, project: ProjectContext) -> Iterable[Finding]:
+        init_ctx = project.read_or_load(_INIT_REL)
+        contract_ctx = project.read_or_load(_CONTRACT_REL)
+        if init_ctx is None or contract_ctx is None:
+            return  # fixture trees without the real package layout
+        _, init_all = _find_all_assignment(init_ctx.tree)
+        if init_all is None:
+            return
+
+        # 1. Quickstart names pinned by the contract test must be re-exported.
+        quickstart = self._quickstart_names(contract_ctx.tree)
+        for name in sorted(quickstart - set(init_all)):
+            yield self.finding(
+                contract_ctx,
+                None,
+                "REP502",
+                f"contract test pins top-level name {name!r} but "
+                "repro/__init__.py does not export it",
+                line=1,
+                col=0,
+            )
+
+        # 2. Every PACKAGES entry must map to an importable module file.
+        packages = self._contract_packages(contract_ctx.tree)
+        for package in packages:
+            if not self._module_exists(project.root, package):
+                yield self.finding(
+                    contract_ctx,
+                    None,
+                    "REP502",
+                    f"contract test lists package {package!r} but no such "
+                    "module exists under src/",
+                    line=1,
+                    col=0,
+                )
+
+        # 3. Every repro subpackage must be under contract.
+        src_repro = project.root / "src" / "repro"
+        if src_repro.is_dir() and packages:
+            for child in sorted(src_repro.iterdir()):
+                if not (child / "__init__.py").is_file():
+                    continue
+                dotted = f"repro.{child.name}"
+                if dotted not in packages:
+                    yield self.finding(
+                        contract_ctx,
+                        None,
+                        "REP502",
+                        f"subpackage {dotted!r} is not covered by the "
+                        "public-API contract test's PACKAGES list",
+                        line=1,
+                        col=0,
+                    )
+
+    @staticmethod
+    def _quickstart_names(tree: ast.Module) -> set[str]:
+        """Identifier-like strings inside test_top_level_convenience_path."""
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.FunctionDef)
+                and node.name == "test_top_level_convenience_path"
+            ):
+                return {
+                    n.value
+                    for n in ast.walk(node)
+                    if isinstance(n, ast.Constant)
+                    and isinstance(n.value, str)
+                    and n.value.isidentifier()
+                }
+        return set()
+
+    @staticmethod
+    def _contract_packages(tree: ast.Module) -> set[str]:
+        _, packages = _find_all_assignment(tree, name="PACKAGES")
+        return set(packages or ())
+
+    @staticmethod
+    def _module_exists(root: Path, dotted: str) -> bool:
+        base = root / "src" / Path(*dotted.split("."))
+        return base.with_suffix(".py").is_file() or (
+            base / "__init__.py"
+        ).is_file()

@@ -1,0 +1,140 @@
+"""State-dict symmetry checker (REP401, REP402).
+
+Bit-identical checkpoint-resume (PR 3) relies on every stateful component
+exposing a ``state_dict`` / ``load_state_dict`` pair.  A class that can only
+write its state silently breaks resume the first time a checkpoint round-trips
+through it, so:
+
+* **REP401** — a class defines ``state_dict`` without ``load_state_dict`` or
+  vice versa.  A ``restore``/``from_state`` classmethod is *not* accepted as
+  a substitute: the supervisor restores components in place.
+* **REP402** — both methods exist, the written keys (string keys of dict
+  literals returned by ``state_dict``) and the read keys (``state["k"]`` /
+  ``state.get("k")`` in ``load_state_dict``) are statically extractable, and
+  the two key sets disagree.  Dynamically built dicts (slot comprehensions
+  etc.) are skipped rather than guessed at.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..context import FileContext, ProjectContext
+from ..findings import Finding
+from ..registry import Checker, register
+
+__all__ = ["StateDictChecker"]
+
+
+def _methods(cls: ast.ClassDef) -> dict[str, ast.FunctionDef]:
+    return {
+        stmt.name: stmt
+        for stmt in cls.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def _written_keys(func: ast.FunctionDef) -> set[str] | None:
+    """String keys of dict literals returned by ``state_dict``.
+
+    Returns ``None`` when any return value is not a literal dict with all
+    string keys — i.e. not statically analysable.
+    """
+    keys: set[str] = set()
+    saw_literal = False
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Return) or node.value is None:
+            continue
+        if not isinstance(node.value, ast.Dict):
+            return None
+        saw_literal = True
+        for key in node.value.keys:
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                keys.add(key.value)
+            else:  # **splat or computed key: bail out, don't guess
+                return None
+    return keys if saw_literal else None
+
+
+def _read_keys(func: ast.FunctionDef) -> set[str] | None:
+    """Keys subscripted or ``.get``-ed from the state parameter."""
+    args = func.args.args
+    if len(args) < 2:  # (self, state)
+        return None
+    state_name = args[1].arg
+    keys: set[str] = set()
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == state_name
+            and isinstance(node.slice, ast.Constant)
+            and isinstance(node.slice.value, str)
+        ):
+            keys.add(node.slice.value)
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "get"
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == state_name
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            keys.add(node.args[0].value)
+    return keys or None
+
+
+@register
+class StateDictChecker(Checker):
+    """Every ``state_dict`` needs a ``load_state_dict`` with matching keys."""
+
+    name = "state-dict"
+    codes = {
+        "REP401": "state_dict/load_state_dict defined without its partner",
+        "REP402": "state_dict writes keys load_state_dict does not read",
+    }
+
+    def check(
+        self, ctx: FileContext, project: ProjectContext
+    ) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            methods = _methods(node)
+            has_save = "state_dict" in methods
+            has_load = "load_state_dict" in methods
+            if has_save != has_load:
+                present = "state_dict" if has_save else "load_state_dict"
+                missing = "load_state_dict" if has_save else "state_dict"
+                yield self.finding(
+                    ctx,
+                    methods[present],
+                    "REP401",
+                    f"class {node.name!r} defines {present} but not "
+                    f"{missing}; checkpoint resume needs the symmetric pair",
+                )
+                continue
+            if not (has_save and has_load):
+                continue
+            written = _written_keys(methods["state_dict"])
+            read = _read_keys(methods["load_state_dict"])
+            if written is None or read is None:
+                continue  # not statically analysable; other tests cover it
+            if written != read:
+                only_written = sorted(written - read)
+                only_read = sorted(read - written)
+                parts = []
+                if only_written:
+                    parts.append(f"written but never read: {only_written}")
+                if only_read:
+                    parts.append(f"read but never written: {only_read}")
+                yield self.finding(
+                    ctx,
+                    methods["load_state_dict"],
+                    "REP402",
+                    f"class {node.name!r} state keys disagree — "
+                    + "; ".join(parts),
+                )

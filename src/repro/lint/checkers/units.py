@@ -1,0 +1,131 @@
+"""Units-discipline checker (REP101, REP102).
+
+The codebase's defence against kW/kWh/gCO₂-per-kWh confusion is the suffix
+convention documented in DESIGN.md §6: quantities carry their unit in the
+identifier.  This checker makes the convention mechanical:
+
+* **REP101** — an identifier uses a unit-*like* suffix that is not in the
+  canonical registry derived from :mod:`repro.units` (``_watts``, ``_secs``,
+  ``_kwhr``…).  The message names the canonical spelling.
+* **REP102** — an addition, subtraction or ordering/equality comparison whose
+  two operands carry suffixes of different dimensions (``power_kw +
+  energy_kwh``) or of the same dimension at different scales (``power_kw >
+  limit_mw``).  Multiplication and division are exempt: they legitimately
+  build derived quantities (``power_w * duration_s``).
+
+Suffixes are read through names, attributes, subscripts, unary signs and
+calls (a function named ``cdu_power_kw`` returns kilowatts), so the check
+survives idiomatic numpy code.  Operands without a recognised suffix are
+never guessed at — silence, not noise, on ambiguous names.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..context import FileContext, ProjectContext
+from ..findings import Finding
+from ..registry import Checker, register
+from ..unitspec import UnitInfo, near_miss_of, suffix_of
+
+__all__ = ["UnitsChecker"]
+
+_CHECKED_COMPARES = (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
+
+
+def _identifier_of(node: ast.expr) -> str | None:
+    """The identifier whose suffix describes this expression's unit."""
+    while True:
+        if isinstance(node, ast.UnaryOp):
+            node = node.operand
+        elif isinstance(node, ast.Subscript):
+            node = node.value
+        elif isinstance(node, ast.Call):
+            node = node.func
+        elif isinstance(node, ast.Await):
+            node = node.value
+        else:
+            break
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _unit_of(node: ast.expr) -> tuple[str, UnitInfo] | None:
+    name = _identifier_of(node)
+    if name is None:
+        return None
+    info = suffix_of(name)
+    if info is None:
+        return None
+    return name, info
+
+
+@register
+class UnitsChecker(Checker):
+    """Enforce the canonical unit-suffix vocabulary and dimensional sanity."""
+
+    name = "units"
+    codes = {
+        "REP101": "identifier uses a non-canonical unit suffix",
+        "REP102": "arithmetic/comparison mixes incompatible unit suffixes",
+    }
+
+    def check(
+        self, ctx: FileContext, project: ProjectContext
+    ) -> Iterable[Finding]:
+        seen_rep101: set[tuple[int, str]] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.Name, ast.arg)):
+                name = node.id if isinstance(node, ast.Name) else node.arg
+                miss = near_miss_of(name)
+                if miss and (node.lineno, name) not in seen_rep101:
+                    seen_rep101.add((node.lineno, name))
+                    bad, good = miss
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "REP101",
+                        f"suffix '_{bad}' in {name!r} is not in the unit "
+                        f"registry; use '_{good}' (see repro/units.py)",
+                    )
+            elif isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                yield from self._check_pair(ctx, node, node.left, node.right)
+            elif isinstance(node, ast.Compare):
+                operands = [node.left, *node.comparators]
+                for op, left, right in zip(node.ops, operands, operands[1:]):
+                    if isinstance(op, _CHECKED_COMPARES):
+                        yield from self._check_pair(ctx, node, left, right)
+
+    def _check_pair(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        left: ast.expr,
+        right: ast.expr,
+    ) -> Iterable[Finding]:
+        lhs, rhs = _unit_of(left), _unit_of(right)
+        if lhs is None or rhs is None:
+            return
+        (lname, linfo), (rname, rinfo) = lhs, rhs
+        if linfo.token == rinfo.token or linfo.compatible_with(rinfo):
+            return
+        if linfo.dimension != rinfo.dimension:
+            detail = (
+                f"{lname!r} is {linfo.dimension} but {rname!r} is "
+                f"{rinfo.dimension}"
+            )
+        else:
+            detail = (
+                f"{lname!r} ('_{linfo.token}') and {rname!r} "
+                f"('_{rinfo.token}') are both {linfo.dimension} but at "
+                "different scales; convert via repro.units first"
+            )
+        yield self.finding(
+            ctx, node, "REP102", f"incompatible units: {detail}"
+        )

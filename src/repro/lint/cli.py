@@ -1,0 +1,178 @@
+"""``repro lint`` — run the contract checkers from the command line.
+
+Examples::
+
+    repro lint src tests                  # everything, text output
+    repro lint src --select REP3          # float-equality only
+    repro lint src --ignore REP101        # all but the suffix-spelling check
+    repro lint src --format json          # stable machine-readable report
+    repro lint src --write-baseline       # grandfather current findings
+    repro lint src --baseline lint-baseline.json   # fail only on NEW findings
+
+Exit codes: 0 clean (or all findings baselined), 1 new findings or parse
+errors, 2 usage/configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from ..errors import ConfigurationError, LintError
+from .baseline import DEFAULT_BASELINE_NAME, Baseline
+from .context import find_project_root
+from .engine import LintReport, run_lint
+from .registry import all_codes
+
+__all__ = ["build_lint_parser", "lint_main"]
+
+
+def build_lint_parser(prog: str = "repro lint") -> argparse.ArgumentParser:
+    """The ``repro lint`` argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description=(
+            "AST-based contract checker: unit-suffix discipline, "
+            "determinism, float equality, state-dict symmetry and "
+            "public-API drift."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        metavar="PATH",
+        help="files or directories to check (default: src tests)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        default=None,
+        help="comma-separated code prefixes to enable (e.g. REP1,REP301)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="CODES",
+        default=None,
+        help="comma-separated code prefixes to disable",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help=(
+            "baseline file of grandfathered findings; defaults to "
+            f"{DEFAULT_BASELINE_NAME} next to pyproject.toml when present"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any default baseline file; report every finding as new",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write/refresh the baseline from current findings and exit 0",
+    )
+    parser.add_argument(
+        "--list-checks",
+        action="store_true",
+        help="list every registered code with its contract and exit",
+    )
+    return parser
+
+
+def _split(csv: str | None) -> list[str] | None:
+    if csv is None:
+        return None
+    return [part for part in csv.split(",") if part.strip()]
+
+
+def _render_text(report: LintReport, baseline_used: Path | None) -> str:
+    lines: list[str] = []
+    for finding in report.parse_errors:
+        lines.append(finding.render())
+    for finding in report.new_findings:
+        lines.append(finding.render())
+    if report.baselined:
+        lines.append(
+            f"({len(report.baselined)} baselined finding(s) suppressed by "
+            f"{baseline_used})"
+        )
+    if report.stale_fingerprints:
+        lines.append(
+            f"({len(report.stale_fingerprints)} stale baseline entr(y/ies) — "
+            "re-run with --write-baseline to ratchet down)"
+        )
+    counts = report.counts_by_code()
+    summary = ", ".join(f"{code}: {n}" for code, n in counts.items())
+    if report.new_findings or report.parse_errors:
+        lines.append(
+            f"found {len(report.new_findings)} new finding(s) in "
+            f"{report.files_checked} file(s)"
+            + (f" [{summary}]" if summary else "")
+        )
+    else:
+        lines.append(
+            f"clean: {report.files_checked} file(s), 0 new finding(s)"
+            + (f" [{summary}]" if summary else "")
+        )
+    return "\n".join(lines)
+
+
+def lint_main(argv: list[str] | None = None, prog: str = "repro lint") -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_lint_parser(prog).parse_args(argv)
+
+    if args.list_checks:
+        for code, description in all_codes().items():
+            print(f"{code}  {description}")
+        return 0
+
+    root = find_project_root(Path(args.paths[0]))
+    baseline_path: Path | None = None
+    if args.baseline:
+        baseline_path = Path(args.baseline)
+    elif not args.no_baseline:
+        default = root / DEFAULT_BASELINE_NAME
+        if default.is_file():
+            baseline_path = default
+
+    try:
+        baseline = None
+        if baseline_path is not None and baseline_path.is_file():
+            baseline = Baseline.load(baseline_path)
+        report = run_lint(
+            args.paths,
+            root=root,
+            select=_split(args.select),
+            ignore=_split(args.ignore),
+            baseline=None if args.write_baseline else baseline,
+        )
+    except (ConfigurationError, LintError) as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        target = baseline_path or root / DEFAULT_BASELINE_NAME
+        Baseline.from_findings(report.findings).dump(target)
+        print(
+            f"wrote baseline with {len(report.findings)} finding(s) to "
+            f"{target}"
+        )
+        return 0
+
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(_render_text(report, baseline_path))
+    return report.exit_code

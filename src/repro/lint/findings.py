@@ -1,0 +1,57 @@
+"""Finding model shared by every checker, the engine and the CLI.
+
+A finding pins a contract violation to a file, line and column, carries the
+machine code (``REPxxx``) that selects/suppresses it, and knows how to
+fingerprint itself for the baseline: the fingerprint hashes the *content* of
+the offending line rather than its number, so unrelated edits above a
+grandfathered finding do not resurrect it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One contract violation at a specific source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str = field(compare=False)
+    checker: str = field(compare=False, default="")
+    snippet: str = field(compare=False, default="")
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity for baselining: path + code + offending line text.
+
+        Line numbers are deliberately excluded so findings survive the file
+        shifting around them; two identical violations on identical lines in
+        the same file share a fingerprint, which is the conservative choice
+        (fixing one un-baselines the other).
+        """
+        payload = f"{self.path}::{self.code}::{self.snippet.strip()}"
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (stable key order, no derived fields)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+            "checker": self.checker,
+            "snippet": self.snippet.strip(),
+            "fingerprint": self.fingerprint,
+        }
+
+    def render(self) -> str:
+        """One-line human rendering, ``path:line:col CODE message`` style."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"

@@ -1,0 +1,149 @@
+"""Pluggable checker registry.
+
+A checker is a class with a ``name``, a table of ``codes`` it can emit, an
+``applies_to`` path predicate and a ``check`` method.  Registration is a
+decorator::
+
+    @register
+    class MyChecker(Checker):
+        name = "my-check"
+        codes = {"REP901": "what REP901 means"}
+
+        def check(self, ctx, project):
+            yield self.finding(ctx, node, "REP901", "message")
+
+Checkers run per file by default; set ``scope = "project"`` to run once with
+the full :class:`~repro.lint.context.ProjectContext` (cross-file contracts).
+Third-party extensions register the same way — the engine iterates whatever
+is in :data:`REGISTRY` at run time.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Mapping
+
+from ..errors import ConfigurationError
+from .context import FileContext, ProjectContext
+from .findings import Finding
+
+__all__ = ["Checker", "REGISTRY", "register", "all_codes", "resolve_codes"]
+
+
+class Checker:
+    """Base class: one contract, one or more finding codes."""
+
+    #: Unique registry key, kebab-case.
+    name: str = ""
+    #: code -> one-line description of the contract it enforces.
+    codes: Mapping[str, str] = {}
+    #: "file" (default) or "project" (run once over all files).
+    scope: str = "file"
+
+    def applies_to(self, rel: str) -> bool:
+        """Whether this checker runs on a root-relative posix path."""
+        return rel.endswith(".py")
+
+    def check(
+        self, ctx: FileContext, project: ProjectContext
+    ) -> Iterable[Finding]:
+        """Yield findings for one file (file-scoped checkers)."""
+        return ()
+
+    def check_project(self, project: ProjectContext) -> Iterable[Finding]:
+        """Yield findings spanning files (project-scoped checkers)."""
+        return ()
+
+    def finding(
+        self,
+        ctx: FileContext,
+        node: ast.AST | None,
+        code: str,
+        message: str,
+        *,
+        line: int | None = None,
+        col: int | None = None,
+    ) -> Finding:
+        """Build a finding anchored at ``node`` (or an explicit line/col)."""
+        if code not in self.codes:
+            raise ConfigurationError(
+                f"checker {self.name!r} emitted unregistered code {code!r}"
+            )
+        lineno = line if line is not None else getattr(node, "lineno", 1)
+        column = col if col is not None else getattr(node, "col_offset", 0)
+        return Finding(
+            path=ctx.rel,
+            line=lineno,
+            col=column + 1,  # 1-based columns in reports
+            code=code,
+            message=message,
+            checker=self.name,
+            snippet=ctx.line_text(lineno),
+        )
+
+
+#: name -> checker instance; populated by :func:`register` at import time.
+REGISTRY: dict[str, Checker] = {}
+
+
+def register(cls: type[Checker]) -> type[Checker]:
+    """Class decorator adding one instance of ``cls`` to :data:`REGISTRY`."""
+    instance = cls()
+    if not instance.name:
+        raise ConfigurationError(f"checker {cls.__name__} has no name")
+    if instance.name in REGISTRY:
+        raise ConfigurationError(f"duplicate checker name {instance.name!r}")
+    for code in instance.codes:
+        for other in REGISTRY.values():
+            if code in other.codes:
+                raise ConfigurationError(
+                    f"code {code} claimed by both {other.name!r} and "
+                    f"{instance.name!r}"
+                )
+    REGISTRY[instance.name] = instance
+    return cls
+
+
+def all_codes() -> dict[str, str]:
+    """Every registered code -> description, sorted by code."""
+    table: dict[str, str] = {}
+    for checker in REGISTRY.values():
+        table.update(checker.codes)
+    return dict(sorted(table.items()))
+
+
+def resolve_codes(
+    select: Iterable[str] | None, ignore: Iterable[str] | None
+) -> set[str]:
+    """Expand ``--select`` / ``--ignore`` prefixes into concrete codes.
+
+    Prefix semantics match ruff: ``REP1`` selects every ``REP1xx`` code,
+    ``REP`` selects everything.  Unknown prefixes raise so typos fail loudly
+    instead of silently selecting nothing.
+    """
+    known = list(all_codes())
+
+    def expand(prefixes: Iterable[str], flag: str) -> set[str]:
+        out: set[str] = set()
+        for prefix in prefixes:
+            prefix = prefix.strip().upper()
+            if not prefix:
+                continue
+            matched = {code for code in known if code.startswith(prefix)}
+            if not matched:
+                raise ConfigurationError(
+                    f"{flag} prefix {prefix!r} matches no registered code "
+                    f"(known: {', '.join(known)})"
+                )
+            out |= matched
+        return out
+
+    chosen = expand(select, "--select") if select else set(known)
+    return chosen - (expand(ignore, "--ignore") if ignore else set())
+
+
+def checkers_for_code_set(codes: set[str]) -> Iterator[Checker]:
+    """Registered checkers that can emit at least one of ``codes``."""
+    for checker in REGISTRY.values():
+        if any(code in codes for code in checker.codes):
+            yield checker

@@ -109,11 +109,14 @@ class _Accumulator:
     def state_dict(self) -> dict:
         return {slot: getattr(self, slot) for slot in _Accumulator.__slots__}
 
+    def load_state_dict(self, state: dict) -> None:
+        for slot in _Accumulator.__slots__:
+            setattr(self, slot, state[slot])
+
     @classmethod
     def restore(cls, state: dict) -> "_Accumulator":
         out = cls()
-        for slot in _Accumulator.__slots__:
-            setattr(out, slot, state[slot])
+        out.load_state_dict(state)
         return out
 
     @property

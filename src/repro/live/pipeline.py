@@ -113,10 +113,30 @@ class PipelineMetrics:
             "watermark_time_s": self.watermark_time_s,
         }
 
+    def load_state_dict(self, state: dict) -> None:
+        """Overwrite every counter in place from a :meth:`state_dict` snapshot."""
+        self.batches_in = dict(state["batches_in"])
+        self.samples_in = dict(state["samples_in"])
+        self.samples_processed = dict(state["samples_processed"])
+        self.samples_dropped = dict(state["samples_dropped"])
+        self.samples_dead_lettered = dict(state["samples_dead_lettered"])
+        self.batches_dead_lettered = dict(state["batches_dead_lettered"])
+        self.samples_sanitised = dict(state["samples_sanitised"])
+        self.channel_high_watermarks = dict(state["channel_high_watermarks"])
+        self.alerts_emitted = dict(state["alerts_emitted"])
+        self.processor_crashes = dict(state["processor_crashes"])
+        self.processor_restarts = dict(state["processor_restarts"])
+        self.processors_quarantined = list(state["processors_quarantined"])
+        self.data_gaps_detected = dict(state["data_gaps_detected"])
+        self.checkpoints_written = state["checkpoints_written"]
+        self.watermark_time_s = state["watermark_time_s"]
+
     @classmethod
     def restore(cls, state: dict) -> "PipelineMetrics":
         """Rebuild metrics from a :meth:`state_dict` snapshot."""
-        return cls(**state)
+        out = cls()
+        out.load_state_dict(state)
+        return out
 
 
 @dataclass(frozen=True)

@@ -516,6 +516,7 @@ class SupervisedPipeline(MonitorPipeline):
         self._stale = set(payload["stale"])
         self._retry_at = dict(payload["retry_at"])
         self._quarantined = set(payload["quarantined"])
+        # lint: allow-unseeded -- placeholder generator; exact state restored below
         self._rng = np.random.default_rng()
         self._rng.bit_generator.state = payload["rng_state"]
         self._last_checkpoint_s = payload["last_checkpoint_s"]

@@ -233,18 +233,23 @@ class OnlineStats:
         """JSON-serialisable snapshot of the accumulator (see ``restore``)."""
         return {slot: getattr(self, slot) for slot in OnlineStats.__slots__}
 
-    @classmethod
-    def restore(cls, state: dict) -> "OnlineStats":
-        """Rebuild an accumulator from a :meth:`state_dict` snapshot.
+    def load_state_dict(self, state: dict) -> None:
+        """Overwrite this accumulator in place from a :meth:`state_dict` snapshot.
 
         The round-trip is exact: every statistic of the restored accumulator
         is bit-identical to the original's, so a checkpointed monitor resumes
         with no drift.
         """
-        out = cls(state.get("name", ""))
         for slot in OnlineStats.__slots__:
             if slot != "name":
-                setattr(out, slot, state[slot])
+                setattr(self, slot, state[slot])
+        self.name = state.get("name", self.name)
+
+    @classmethod
+    def restore(cls, state: dict) -> "OnlineStats":
+        """Rebuild an accumulator from a :meth:`state_dict` snapshot."""
+        out = cls(state.get("name", ""))
+        out.load_state_dict(state)
         return out
 
     # -- results ---------------------------------------------------------------
@@ -409,14 +414,19 @@ class P2Quantile:
             "desired": list(self._desired),
         }
 
+    def load_state_dict(self, state: dict) -> None:
+        """Overwrite the marker state in place from a :meth:`state_dict` snapshot."""
+        self.q = state["q"]
+        self._buffer = list(state["buffer"])
+        self._heights = list(state["heights"]) if state["heights"] is not None else None
+        self._pos = list(state["pos"])
+        self._desired = list(state["desired"])
+
     @classmethod
     def restore(cls, state: dict) -> "P2Quantile":
         """Rebuild a tracker from a :meth:`state_dict` snapshot, exactly."""
         out = cls(state["q"])
-        out._buffer = list(state["buffer"])
-        out._heights = list(state["heights"]) if state["heights"] is not None else None
-        out._pos = list(state["pos"])
-        out._desired = list(state["desired"])
+        out.load_state_dict(state)
         return out
 
 

@@ -117,7 +117,7 @@ class RooflineModel:
         phi = self.compute_fraction
         if perf_ratio_target >= 1.0:
             return self.reference_ghz
-        if phi == 0.0:
+        if phi == 0.0:  # lint: exact-float -- memory-bound sentinel; continuous as phi->0
             return 0.0
         # time_ratio allowed = 1 / target; solve φ·(f0/f) + (1-φ) = 1/target
         allowed = 1.0 / perf_ratio_target

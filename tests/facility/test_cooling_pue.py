@@ -79,3 +79,32 @@ class TestPue:
         full = pue_from_breakdown(breakdown_full, plant_overhead_fraction=0.05)
         low = pue_from_breakdown(breakdown_low, plant_overhead_fraction=0.05)
         assert low.total_power_kw < full.total_power_kw
+
+
+class TestVariableFractionSentinel:
+    """Regression tests for the audited exact-float sentinel at
+    ``CoolingModel.cdu_power_kw`` (``variable_fraction == 0.0``).
+
+    The exact comparison is safe because 0.0 is a *stored config default*,
+    never the result of arithmetic — and the general formula is continuous
+    at 0, so near-zero fractions agree with the sentinel branch anyway.
+    """
+
+    def test_exact_zero_takes_constant_branch(self, inventory):
+        model = CoolingModel(inventory, variable_fraction=0.0)
+        assert model.cdu_power_kw(0.0) == model.cdu_power_kw(model.capacity_kw)
+
+    def test_near_zero_fraction_is_continuous_with_sentinel(self, inventory):
+        """A denormal-small fraction must agree with the 0.0 branch to within
+        float noise; if it didn't, the ``==`` shortcut would be a bug."""
+        exact = CoolingModel(inventory, variable_fraction=0.0)
+        near = CoolingModel(inventory, variable_fraction=1e-12)
+        for load in (0.0, 1000.0, exact.capacity_kw):
+            assert near.cdu_power_kw(load) == pytest.approx(
+                exact.cdu_power_kw(load), rel=1e-9
+            )
+
+    def test_negative_zero_also_hits_sentinel(self, inventory):
+        """-0.0 == 0.0 in IEEE 754, so the sentinel accepts both spellings."""
+        model = CoolingModel(inventory, variable_fraction=-0.0)
+        assert model.cdu_power_kw(0.0) == model.cdu_power_kw(model.capacity_kw)

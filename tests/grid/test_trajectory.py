@@ -1,5 +1,7 @@
 """Decarbonisation-trajectory tests."""
 
+import math
+
 import numpy as np
 import pytest
 
@@ -82,3 +84,31 @@ class TestRegimeCrossing:
         )
         assert crossing is not None
         assert 1.0 < crossing < 6.0
+
+
+class TestFrozenGridSentinel:
+    """Regression tests for the audited exact-float sentinel in
+    ``years_to_reach`` (``annual_reduction == 0.0``) and the ``math.isinf``
+    guard in ``regime_crossing_year`` (formerly ``year == float("inf")``).
+    """
+
+    def test_frozen_grid_never_reaches_lower_target(self):
+        frozen = DecarbonisationTrajectory(annual_reduction=0.0)
+        assert math.isinf(frozen.years_to_reach(100.0))
+
+    def test_tiny_reduction_is_finite_and_large(self):
+        """Near-zero (but nonzero) rates take the log formula, not the
+        sentinel — the two branches agree in the limit (both diverge)."""
+        slow = DecarbonisationTrajectory(annual_reduction=1e-9)
+        years = slow.years_to_reach(100.0)
+        assert math.isfinite(years)
+        assert years > 1e8
+
+    def test_crossing_handles_infinite_reach_via_isinf(self):
+        """regime_crossing_year must treat inf (unreachable) as None; the
+        math.isinf form is NaN-safe where ``== float('inf')`` merely worked."""
+        frozen = DecarbonisationTrajectory(annual_reduction=0.0)
+        model = EmissionsModel(embodied=EmbodiedProfile(), mean_power_kw=3500.0)
+        assert regime_crossing_year(
+            frozen, model.crossover_ci_g_per_kwh(), lifetime_years=50.0
+        ) is None

@@ -1,0 +1,28 @@
+"""Known-bad fixture for the determinism checker."""
+
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def wall_clock() -> float:
+    return time.time()  # REP201
+
+
+def wall_clock_dt() -> object:
+    return datetime.now()  # REP201
+
+
+def stdlib_global_rng() -> float:
+    return random.random()  # REP202
+
+
+def numpy_legacy_rng() -> float:
+    np.random.seed(0)  # REP202: hidden global state even when "seeded"
+    return float(np.random.rand())  # REP202
+
+
+def unseeded_generator() -> object:
+    return np.random.default_rng()  # REP202

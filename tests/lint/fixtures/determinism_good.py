@@ -1,0 +1,26 @@
+"""Known-good fixture for the determinism checker."""
+
+import numpy as np
+
+
+def seeded_generator(seed: int) -> object:
+    return np.random.default_rng(seed)  # explicit seed: fine
+
+
+def generator_threading(rng: np.random.Generator) -> float:
+    # The convention: stochastic code takes a Generator as data.
+    return float(rng.normal(loc=0.0, scale=1.0))
+
+
+def seed_sequences(seed: int) -> list:
+    return np.random.SeedSequence(seed).spawn(4)
+
+
+def annotated_exception() -> object:
+    # lint: allow-unseeded -- reviewed: state is overwritten by the caller
+    return np.random.default_rng()
+
+
+def time_as_data(start_time_s: float, duration_s: float) -> float:
+    # Model code takes time as data, never from the wall clock.
+    return start_time_s + duration_s

@@ -1,0 +1,17 @@
+"""Known-bad fixture for the float-equality checker."""
+
+import math
+
+
+def computed_equality(ratio: float) -> bool:
+    return ratio == 1.0  # REP301
+
+
+def inequality(delta: float) -> bool:
+    return delta != 0.0  # REP301
+
+
+def special_values(year: float, x: float) -> bool:
+    if year == float("inf"):  # REP301: use math.isinf
+        return True
+    return x == math.nan  # REP301: NaN never equals anything; use math.isnan

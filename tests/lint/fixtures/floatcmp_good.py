@@ -1,0 +1,26 @@
+"""Known-good fixture for the float-equality checker."""
+
+import math
+
+
+def tolerant_equality(ratio: float) -> bool:
+    return math.isclose(ratio, 1.0, rel_tol=1e-9)
+
+
+def special_value_predicates(year: float, x: float) -> bool:
+    return math.isinf(year) or math.isnan(x)
+
+
+def annotated_sentinel(fraction: float) -> bool:
+    # A stored-never-computed config default is an exact sentinel.
+    return fraction == 0.0  # lint: exact-float -- config sentinel, reviewed
+
+
+def integer_comparisons(count: int) -> bool:
+    # Integer equality is exact by nature; never flagged.
+    return count == 0
+
+
+def ordering_is_fine(value: float) -> bool:
+    # Ordering comparisons against floats are well-defined.
+    return value >= 1.0

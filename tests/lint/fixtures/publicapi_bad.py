@@ -1,0 +1,7 @@
+"""Known-bad fixture for the public-API checker: __all__ names a ghost."""
+
+__all__ = ["real_function", "ghost_function", "GhostClass"]
+
+
+def real_function() -> int:
+    return 1

@@ -1,0 +1,23 @@
+"""Known-good fixture for the public-API checker."""
+
+import math as _math
+from pathlib import Path
+
+__all__ = ["CONSTANT", "Helper", "Path", "conditional", "real_function"]
+
+CONSTANT = 3.0
+
+if hasattr(_math, "isqrt"):
+    def conditional() -> int:
+        return 1
+else:
+    def conditional() -> int:
+        return 0
+
+
+def real_function() -> float:
+    return _math.pi
+
+
+class Helper:
+    """A class counts as a definition."""

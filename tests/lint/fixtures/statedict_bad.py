@@ -1,0 +1,36 @@
+"""Known-bad fixture for the state-dict symmetry checker."""
+
+
+class SaveOnly:
+    """REP401: writes state it can never load back."""
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def state_dict(self) -> dict:
+        return {"count": self.count}
+
+
+class LoadOnly:
+    """REP401: the mirror image."""
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def load_state_dict(self, state: dict) -> None:
+        self.count = state["count"]
+
+
+class KeyDrift:
+    """REP402: writes 'total', reads 'count' and a key never written."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+
+    def state_dict(self) -> dict:
+        return {"total": self.total, "count": self.count}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.count = state["count"]
+        self.total = state["grand_total"]

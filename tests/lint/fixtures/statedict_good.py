@@ -1,0 +1,40 @@
+"""Known-good fixture for the state-dict symmetry checker."""
+
+
+class Symmetric:
+    """Literal keys, perfectly mirrored; `.get` with a default also counts."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.label = ""
+
+    def state_dict(self) -> dict:
+        return {"count": self.count, "label": self.label}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.count = state["count"]
+        self.label = state.get("label", "")
+
+
+class DynamicStateIsSkipped:
+    """Slot-comprehension snapshots cannot be key-checked statically."""
+
+    __slots__ = ("a", "b")
+
+    def __init__(self) -> None:
+        self.a = 0
+        self.b = 0
+
+    def state_dict(self) -> dict:
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def load_state_dict(self, state: dict) -> None:
+        for slot in self.__slots__:
+            setattr(self, slot, state[slot])
+
+
+class Stateless:
+    """Classes without either method are out of scope."""
+
+    def work(self) -> int:
+        return 42

@@ -1,0 +1,22 @@
+"""Known-bad fixture for the units checker: every block is a true positive."""
+
+
+def mixes_dimensions(power_kw: float, energy_kwh: float) -> float:
+    # REP102: power + energy
+    return power_kw + energy_kwh
+
+
+def mixes_scales(power_kw: float, limit_mw: float) -> bool:
+    # REP102: same dimension, different scale
+    return power_kw > limit_mw
+
+
+def compares_intensity_to_price(ci_g_per_kwh: float, price_gbp_per_kwh: float) -> bool:
+    # REP102: carbon intensity vs price
+    return ci_g_per_kwh < price_gbp_per_kwh
+
+
+def near_miss_suffix(cabinet_watts: float) -> float:
+    # REP101: '_watts' is not canonical ('_w' is)
+    total_secs = 3600.0  # REP101: '_secs' is not canonical ('_s' is)
+    return cabinet_watts + total_secs  # no REP102: unknown suffixes stay silent

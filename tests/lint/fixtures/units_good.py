@@ -1,0 +1,30 @@
+"""Known-good fixture for the units checker: idiomatic code, zero findings."""
+
+SECONDS_PER_DAY = 86_400.0  # same-dimension compound: a conversion constant
+
+
+def clean_arithmetic(power_kw: float, other_kw: float, duration_s: float) -> float:
+    # Same suffix adds fine; multiplication builds derived units freely.
+    total_kw = power_kw + other_kw
+    energy_kwh = total_kw * duration_s / 3600.0
+    return energy_kwh
+
+
+def aliases_are_compatible(wait_seconds: float, duration_s: float) -> float:
+    # '_seconds' and '_s' are exact aliases in the registry.
+    return wait_seconds + duration_s
+
+
+def conversion_constants(submit_time_s: float) -> bool:
+    # SECONDS_PER_DAY's *value* is seconds; comparing to '_s' is fine.
+    return submit_time_s < SECONDS_PER_DAY
+
+
+def ambiguous_names_stay_silent(v_min: float, delta_t: float, alpha_c: float) -> float:
+    # '_min', '_t' and non-thermal '_c' are programming vocabulary, not units.
+    return v_min + delta_t + alpha_c
+
+
+def unknown_suffixes_stay_silent(n_nodes: int, score_x: float) -> float:
+    # Operands without a recognised unit are never guessed at.
+    return n_nodes + score_x

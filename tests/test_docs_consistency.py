@@ -74,3 +74,46 @@ class TestReadme:
     def test_docs_directory_files_exist(self):
         assert (ROOT / "docs" / "modelling.md").exists()
         assert (ROOT / "docs" / "usage.md").exists()
+
+
+class TestContributingDoc:
+    @pytest.fixture(scope="class")
+    def contributing(self):
+        return (ROOT / "docs" / "contributing.md").read_text()
+
+    def test_exists_and_is_cross_linked(self, contributing):
+        readme = (ROOT / "README.md").read_text()
+        usage = (ROOT / "docs" / "usage.md").read_text()
+        assert "docs/contributing.md" in readme
+        assert "contributing.md" in usage
+
+    def test_documents_every_registered_lint_code(self, contributing):
+        from repro.lint.registry import all_codes
+
+        documented = set(re.findall(r"\bREP\d{3}\b", contributing))
+        registered = set(all_codes()) | {"REP000"}
+        assert registered <= documented, registered - documented
+
+    def test_documents_no_phantom_codes(self, contributing):
+        from repro.lint.registry import all_codes
+
+        documented = set(re.findall(r"\bREP\d{3}\b", contributing))
+        registered = set(all_codes()) | {"REP000"}
+        assert documented <= registered, documented - registered
+
+    def test_documents_every_suppression_alias(self, contributing):
+        from repro.lint.annotations import ALIASES
+
+        for alias in ALIASES:
+            assert alias in contributing, alias
+
+    def test_design_tree_covers_lint_package(self):
+        design = (ROOT / "DESIGN.md").read_text()
+        assert "lint/" in design
+        assert "repro lint" in design or "checkers/" in design
+
+    def test_ci_runs_the_contract_checker_as_blocking_job(self):
+        ci = (ROOT / ".github" / "workflows" / "ci.yml").read_text()
+        assert "repro lint src tests" in ci
+        assert "ruff check" in ci
+        assert "mypy" in ci

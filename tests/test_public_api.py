@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.api",
     "repro.engine",
     "repro.engine.cli",
+    "repro.lint",
 ]
 
 

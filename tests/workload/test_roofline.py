@@ -136,3 +136,23 @@ class TestArithmeticIntensity:
     def test_invalid_inputs_rejected(self):
         with pytest.raises(Exception):
             compute_fraction_from_arithmetic_intensity(0.0, 1000.0, 100.0)
+
+
+class TestMemoryBoundSentinel:
+    """Regression tests for the audited exact-float sentinel in
+    ``frequency_for_perf_target`` (``phi == 0.0``)."""
+
+    def test_pure_memory_bound_is_unconstrained(self):
+        model = RooflineModel(compute_fraction=0.0)
+        assert model.frequency_for_perf_target(0.9) == 0.0
+
+    def test_near_zero_phi_is_continuous_with_sentinel(self):
+        """As φ→0 the required frequency →0 smoothly, so the exact-zero
+        shortcut matches the general formula's limit."""
+        model = RooflineModel(compute_fraction=1e-12)
+        assert model.frequency_for_perf_target(0.9) == pytest.approx(0.0, abs=1e-9)
+
+    def test_target_of_one_requires_reference_even_when_memory_bound(self):
+        """The ≥1 branch is checked before the φ sentinel."""
+        model = RooflineModel(compute_fraction=0.0)
+        assert model.frequency_for_perf_target(1.0) == pytest.approx(2.8)
