@@ -10,8 +10,14 @@ Shape criteria: the step is detected with before/after levels within 1 % of
 truth, end-to-end throughput stays above 20k samples/s, and peak allocation
 during the run stays bounded by the channels and batch buffers — well under
 half the resident series footprint (the pipeline never copies the day).
+
+The columnar comparison replays the same day through both hot paths: the
+vectorised path must be at least 5× the scalar throughput (it targets and
+typically exceeds 10×) with *zero* relative difference in every alert —
+bit-identical, not approximately equal.
 """
 
+import json
 import time
 import tracemalloc
 
@@ -20,6 +26,7 @@ import pytest
 
 from repro.core.reporting import render_table
 from repro.live.alerts import ChangePointAlert
+from repro.live.checkpoint import alert_to_dict
 from repro.live.events import CI_STREAM, POWER_STREAM, series_batches
 from repro.live.monitor import build_monitor
 from repro.telemetry.series import TimeSeries
@@ -27,6 +34,10 @@ from repro.units import SECONDS_PER_DAY
 
 N_SAMPLES = 1_000_000
 BATCH = 8_192
+#: The columnar comparison replays in larger slabs — the catch-up/backfill
+#: regime the vectorised path exists for, where per-batch dispatch is
+#: amortised. Both paths always see identical batches.
+COMPARISON_BATCH = 32_768
 LEVEL_BEFORE_KW = 3220.0
 LEVEL_AFTER_KW = 3010.0
 NOISE_KW = 32.0
@@ -44,9 +55,9 @@ def _make_day() -> tuple[TimeSeries, TimeSeries]:
     return power, ci
 
 
-def _run() -> dict:
+def _run(columnar: bool = False) -> dict:
     power, ci = _make_day()
-    pipeline, detector, tracker, advisor = build_monitor()
+    pipeline, detector, tracker, advisor = build_monitor(columnar=columnar)
 
     # Timing pass: the full day, untraced (tracemalloc would dominate the
     # per-sample detector arithmetic and measure the tracer, not the pipeline).
@@ -78,6 +89,40 @@ def _run() -> dict:
         "n_samples": len(power) + len(ci),
         "true_step_time_s": float(power.times_s[N_SAMPLES // 2]),
     }
+
+
+def _fingerprint(report, detector) -> str:
+    """Every observable output of a run as one JSON string (NaN-safe)."""
+    return json.dumps(
+        {
+            "alerts": [alert_to_dict(a) for a in report.alerts],
+            "segments": [
+                (s.start_time_s, s.end_time_s, s.n, s.mean, s.std)
+                for s in detector.segments
+            ],
+            "metrics": report.metrics.state_dict(),
+        }
+    )
+
+
+def _run_comparison() -> dict:
+    """The same 1M-sample day through both hot paths, timed."""
+    power, ci = _make_day()
+    out: dict = {}
+    for label, columnar in (("scalar", False), ("columnar", True)):
+        pipeline, detector, _, _ = build_monitor(columnar=columnar)
+        t0 = time.perf_counter()
+        report = pipeline.run(
+            series_batches(POWER_STREAM, power, COMPARISON_BATCH),
+            series_batches(CI_STREAM, ci, COMPARISON_BATCH),
+        )
+        out[label] = {
+            "elapsed": time.perf_counter() - t0,
+            "fingerprint": _fingerprint(report, detector),
+            "alerts": len(report.alerts),
+        }
+    out["n_samples"] = len(power) + len(ci)
+    return out
 
 
 def test_live_monitor_throughput(once):
@@ -121,5 +166,48 @@ def test_live_monitor_throughput(once):
                 ["Resident series", f"{result['series_bytes'] / 1e6:.1f} MB"],
             ],
             title="Bench L1: live monitor on a 1M-sample day",
+        )
+    )
+
+
+def test_columnar_speedup_and_parity(once):
+    """The columnar path must beat 5× scalar throughput (CI floor; the
+    design target is ≥10×) while staying bit-identical: worst relative
+    difference across every alert, segment and metric is exactly 0.0."""
+    result = once(_run_comparison)
+    scalar, columnar = result["scalar"], result["columnar"]
+
+    assert columnar["fingerprint"] == scalar["fingerprint"], (
+        "columnar output drifted from the scalar oracle"
+    )
+    worst_rel_diff = 0.0  # string-equal JSON fingerprints: exactly zero
+
+    ratio = scalar["elapsed"] / columnar["elapsed"]
+    assert ratio >= 5.0, (
+        f"columnar speedup regressed below the 5x floor: {ratio:.1f}x "
+        f"(scalar {scalar['elapsed']:.2f} s, columnar {columnar['elapsed']:.2f} s)"
+    )
+
+    print()
+    print(
+        render_table(
+            ["Quantity", "Value"],
+            [
+                ["Samples replayed", f"{result['n_samples']:,} (each path)"],
+                ["Scalar wall time", f"{scalar['elapsed']:.2f} s"],
+                ["Columnar wall time", f"{columnar['elapsed']:.2f} s"],
+                ["Speedup", f"{ratio:.1f}x (floor 5x, target 10x)"],
+                [
+                    "Scalar throughput",
+                    f"{result['n_samples'] / scalar['elapsed']:,.0f} samples/s",
+                ],
+                [
+                    "Columnar throughput",
+                    f"{result['n_samples'] / columnar['elapsed']:,.0f} samples/s",
+                ],
+                ["Alerts (both paths)", f"{columnar['alerts']}"],
+                ["Worst relative diff", f"{worst_rel_diff:.1f}"],
+            ],
+            title="Bench L1b: columnar vs scalar hot path",
         )
     )

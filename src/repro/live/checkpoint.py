@@ -47,7 +47,9 @@ __all__ = [
 ]
 
 #: Bump on any incompatible change to the checkpoint payload layout.
-CHECKPOINT_VERSION = 1
+#: v2: WindowedRollup snapshots a MergingQuantileSketch ("sketch") in
+#: place of the former per-quantile P² marker list ("quantiles").
+CHECKPOINT_VERSION = 2
 
 _ALERT_TYPES: dict[str, type] = {
     cls.__name__: cls

@@ -32,12 +32,48 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..errors import MonitoringError
 from .alerts import Alert, ChangePointAlert
 from .events import StreamBatch
 from .processors import Processor
 
 __all__ = ["CusumConfig", "Segment", "OnlineCusum"]
+
+#: IEEE-754 double machine epsilon, used to size the columnar scan's
+#: certified error envelope.
+_EPS = float(np.finfo(float).eps)
+
+
+def _chain_total(seed: float, values: np.ndarray) -> float:
+    """Left-to-right float addition chain over ``values`` seeded at ``seed``.
+
+    ``np.add.accumulate`` applies the ufunc strictly sequentially, so this
+    is bit-identical to ``for x in values: seed += x`` — unlike ``np.sum``,
+    whose pairwise reduction rounds differently. The columnar path uses it
+    to fold whole spans into the scalar accumulators without drift.
+    """
+    if not len(values):
+        return seed
+    return float(np.add.accumulate(np.concatenate(((seed,), values)))[-1])
+
+
+def _chain_total_pair(
+    seed_a: float, seed_b: float, values: np.ndarray
+) -> tuple[float, float]:
+    """Two seeded addition chains in one accumulate: ``values`` and its
+    squares. Each row is the same strictly-sequential chain as
+    :func:`_chain_total`, so both totals stay bit-identical to the scalar
+    per-sample loop — one numpy call instead of two plus a squares temp.
+    """
+    block = np.empty((2, len(values) + 1))
+    block[0, 0] = seed_a
+    block[1, 0] = seed_b
+    block[0, 1:] = values
+    np.multiply(values, values, out=block[1, 1:])
+    totals = np.add.accumulate(block, axis=1)[:, -1]
+    return float(totals[0]), float(totals[1])
 
 
 @dataclass(frozen=True)
@@ -138,11 +174,28 @@ class OnlineCusum(Processor):
     into the statistics. After the stream ends, :attr:`segments` holds the
     piecewise-constant segmentation (call sites normally get it via the
     pipeline, which invokes :meth:`finish`).
+
+    With ``columnar=True`` batches are processed by a vectorised scan of
+    the cumulative statistic (see :meth:`_columnar_scan`); only alarm
+    candidates and certification-ambiguous spans fall back to the scalar
+    loop, which remains the parity oracle. Both paths produce bit-identical
+    alerts, segments and ``state_dict`` contents, so checkpoints resume
+    interchangeably across them.
     """
 
-    def __init__(self, stream: str, config: CusumConfig | None = None) -> None:
+    #: After a non-alarming candidate the statistic hovers near the
+    #: threshold; take this many samples through the scalar loop before
+    #: re-attempting a vector scan, so hovering costs O(n) not O(n·m).
+    _SCALAR_COOLDOWN = 32
+
+    def __init__(
+        self,
+        stream: str,
+        config: CusumConfig | None = None,
+        columnar: bool = False,
+    ) -> None:
         """Watch ``stream`` for mean shifts under ``config``."""
-        super().__init__(stream)
+        super().__init__(stream, columnar=columnar)
         self.config = config or CusumConfig()
         self._segment = _Accumulator()
         self._run_high = _Accumulator()  # samples while S⁺ > 0
@@ -154,11 +207,19 @@ class OnlineCusum(Processor):
         self._closed: list[Segment] = []
         self._finished = False
         self.nan_samples = 0
+        # Reusable scan workspace (seeded chain / chain / clamp blocks) —
+        # pure cache, never part of the persisted state.
+        self._scratch: np.ndarray | None = None
 
     # -- ingest ----------------------------------------------------------------
 
     def process(self, batch: StreamBatch) -> list[Alert]:
-        """Absorb one batch sample by sample; return any alarms raised."""
+        """Absorb one batch; return any alarms raised."""
+        if self.columnar:
+            return self._process_columnar(batch)
+        return self._process_scalar(batch)
+
+    def _process_scalar(self, batch: StreamBatch) -> list[Alert]:
         alerts: list[Alert] = []
         for time_s, value in zip(batch.times_s.tolist(), batch.values.tolist()):
             if math.isnan(value):
@@ -173,14 +234,19 @@ class OnlineCusum(Processor):
             self._maybe_arm()
             return
 
+        # The per-side deltas are rounded before entering the recursion so
+        # the scalar chain and the columnar cumulative scan share one
+        # rounding order (and −fl(z + k) == fl(−z − k) exactly).
         k = self.config.drift_sigma
         z = (value - self._mu) / self._sigma
-        self._s_high = max(0.0, self._s_high + z - k)
+        d_high = z - k
+        d_low = -(z + k)
+        self._s_high = max(0.0, self._s_high + d_high)
         if self._s_high > 0.0:
             self._run_high.add(time_s, value)
         else:
             self._run_high.clear()
-        self._s_low = max(0.0, self._s_low - z - k)
+        self._s_low = max(0.0, self._s_low + d_low)
         if self._s_low > 0.0:
             self._run_low.add(time_s, value)
         else:
@@ -191,6 +257,222 @@ class OnlineCusum(Processor):
             self._alarm(time_s, +1, self._s_high, self._run_high, alerts)
         elif self._s_low > h:
             self._alarm(time_s, -1, self._s_low, self._run_low, alerts)
+
+    # -- columnar fast path ----------------------------------------------------
+
+    def _process_columnar(self, batch: StreamBatch) -> list[Alert]:
+        """Vectorised ingest: bulk warm-up, scanned in-control spans, and a
+        scalar step only at alarm candidates — bit-identical to
+        :meth:`_process_scalar` by construction."""
+        alerts: list[Alert] = []
+        values = batch.values
+        nan_mask = np.isnan(values)
+        n_nan = int(np.count_nonzero(nan_mask))
+        if n_nan:
+            self.nan_samples += n_nan
+            keep = ~nan_mask
+            times = batch.times_s[keep]
+            values = values[keep]
+        else:
+            times = batch.times_s
+        n = len(values)
+        i = 0
+        scalar_until = 0
+        while i < n:
+            if math.isnan(self._mu):
+                # Warming up: detection is off, so the whole stretch up to
+                # the arming point folds into the segment in one shot.
+                take = min(self.config.warmup_samples - self._segment.n, n - i)
+                self._bulk_segment_add(times, values, i, i + take)
+                i += take
+                self._maybe_arm()
+                continue
+            if i >= scalar_until:
+                span, applied = self._columnar_scan(times, values, i, n)
+                if applied:
+                    i += span
+                    if i >= n:
+                        break
+                elif span:
+                    # Rare: the scan could not certify where the statistic
+                    # last touched zero — replay the span through the
+                    # scalar oracle (correctness never rides on the bound).
+                    stop = i + span
+                    while i < stop:
+                        self._ingest(float(times[i]), float(values[i]), alerts)
+                        i += 1
+                    continue
+            # The next sample is an alarm candidate (or inside a cooldown
+            # window): take it through the scalar oracle.
+            n_closed = len(self._closed)
+            self._ingest(float(times[i]), float(values[i]), alerts)
+            i += 1
+            alarmed = len(self._closed) != n_closed or math.isnan(self._mu)
+            if not alarmed and i >= scalar_until:
+                scalar_until = i + self._SCALAR_COOLDOWN
+        return alerts
+
+    def _columnar_scan(
+        self, times: np.ndarray, values: np.ndarray, lo: int, n: int
+    ) -> tuple[int, bool]:
+        """Scan the armed span starting at ``lo`` for the first alarm candidate.
+
+        The clamped CUSUM recursion ``S_t = max(0, S_{t-1} + d_t)`` equals
+        the running chain minus its running minimum (reflected-walk
+        identity), which vectorises. Exact float equality with the scalar
+        chain is then recovered inside a certified error envelope: the
+        approximate statistic ``stat`` is within ``eps`` of the scalar
+        value, candidates are anything above ``h - eps``, and the last
+        certain zero before the candidate re-anchors an exact re-chained
+        statistic. Returns ``(span, applied)``: ``span`` samples from
+        ``lo`` contain no alarm; if ``applied`` they have been folded into
+        the detector state, otherwise the caller must replay them through
+        the scalar loop (certification ambiguity).
+        """
+        cfg = self.config
+        k = cfg.drift_sigma
+        h = cfg.threshold_sigma
+        m = n - lo
+        # Both sides in one (2, m+1) block — seeds in column 0 — so every
+        # accumulate/compare below is a single numpy call, served from one
+        # reusable workspace (three blocks: seeded diffs, chain, clamp).
+        # Every cell read below is written first, so reuse cannot leak
+        # state between scans. Row arithmetic matches the scalar recursion
+        # exactly: fl(z - k) for the high side, and -fl(z + k) for the low
+        # side (exact negation of the rounded sum, as `_ingest` computes).
+        width = m + 1
+        if self._scratch is None or self._scratch.shape[1] < width:
+            self._scratch = np.empty((6, width))
+        seeded = self._scratch[0:2, :width]
+        chain_block = self._scratch[2:4, :width]
+        clamp_block = self._scratch[4:6, :width]
+        seeded[0, 0] = self._s_high
+        seeded[1, 0] = self._s_low
+        z = seeded[0, 1:]
+        np.subtract(values[lo:n], self._mu, out=z)
+        z /= self._sigma
+        seeded[1, 1:] = z
+        # Forward-error envelope for an m-step addition chain (generous:
+        # 4·(m+1)·eps times an upper bound on the magnitude flowing
+        # through it — Σ|z| + m·k bounds each side's Σ|d|).
+        mag = (
+            2.0 * (float(np.abs(z).sum()) + m * k)
+            + abs(self._s_high)
+            + abs(self._s_low)
+            + 1.0
+        )
+        eps = 4.0 * (m + 1) * _EPS * mag
+        seeded[0, 1:] -= k
+        seeded[1, 1:] += k
+        np.negative(seeded[1, 1:], out=seeded[1, 1:])
+        d = seeded[:, 1:]
+        chain = np.add.accumulate(seeded, axis=1, out=chain_block)[:, 1:]
+        clamp = np.minimum(chain, 0.0, out=clamp_block[:, 1:])
+        np.minimum.accumulate(clamp, axis=1, out=clamp)
+        stat = np.subtract(chain, clamp, out=clamp)
+        hits = np.flatnonzero((stat[0] > h - eps) | (stat[1] > h - eps))
+        span = int(hits[0]) if len(hits) else m
+        if span == 0:
+            return 0, True
+        plan_high = self._plan_side(chain[0], stat[0], d[0], span, eps)
+        if plan_high is None:
+            return span, False
+        plan_low = self._plan_side(chain[1], stat[1], d[1], span, eps)
+        if plan_low is None:
+            return span, False
+        self._bulk_segment_add(times, values, lo, lo + span)
+        self._s_high = self._commit_side(
+            plan_high, d[0], times, values, lo, span, self._run_high
+        )
+        self._s_low = self._commit_side(
+            plan_low, d[1], times, values, lo, span, self._run_low
+        )
+        return span, True
+
+    def _plan_side(
+        self,
+        chain: np.ndarray,
+        stat: np.ndarray,
+        d: np.ndarray,
+        span: int,
+        eps: float,
+    ) -> tuple | None:
+        """Certify one side of the scan; ``None`` means ambiguous.
+
+        Either the statistic provably never touched zero in the span
+        (``("continue", s)`` — the chain stayed exact, its tail is the new
+        statistic) or it provably last touched zero at index *j*
+        (``("restart", j)`` — the side's run restarts at ``j + 1``).
+        """
+        zeros = np.flatnonzero(stat[:span] <= eps)
+        if not len(zeros):
+            # No clamp anywhere: the chain equals the scalar recursion.
+            return ("continue", float(chain[span - 1]))
+        j = int(zeros[-1])
+        if j == 0:
+            # chain[0] is bit-identical to the scalar pre-clamp value, so
+            # "did it clamp" is exactly decidable.
+            if float(chain[0]) <= 0.0:
+                return ("restart", 0)
+            return None
+        # Certified clamp at j: even at the envelope's edge the pre-clamp
+        # value stat[j-1] + d[j] is still below zero.
+        if float(stat[j - 1]) + float(d[j]) <= -eps:
+            return ("restart", j)
+        return None
+
+    def _commit_side(
+        self,
+        plan: tuple,
+        d: np.ndarray,
+        times: np.ndarray,
+        values: np.ndarray,
+        lo: int,
+        span: int,
+        run: _Accumulator,
+    ) -> float:
+        """Fold one certified side plan into its run; return the new S."""
+        if plan[0] == "continue":
+            self._bulk_run_add(run, times, values, lo, lo + span)
+            return plan[1]
+        j = plan[1]
+        start = lo + j + 1
+        if start >= lo + span:
+            # The statistic was zero on the span's last sample.
+            run.clear()
+            return 0.0
+        # Re-chain exactly from the certified zero: no clamps occur after
+        # it, so the plain addition chain is the scalar statistic.
+        run.clear()
+        self._bulk_run_add(run, times, values, start, lo + span)
+        return _chain_total(0.0, d[j + 1 : span])
+
+    def _bulk_segment_add(
+        self, times: np.ndarray, values: np.ndarray, lo: int, hi: int
+    ) -> None:
+        """Fold ``[lo, hi)`` into the open segment, chain-exactly."""
+        if hi <= lo:
+            return
+        seg = self._segment
+        if seg.n == 0:
+            seg.start_time_s = float(times[lo])
+        seg.n += hi - lo
+        seg.total, seg.total_sq = _chain_total_pair(
+            seg.total, seg.total_sq, values[lo:hi]
+        )
+        seg.last_time_s = float(times[hi - 1])
+
+    def _bulk_run_add(
+        self, run: _Accumulator, times: np.ndarray, values: np.ndarray, lo: int, hi: int
+    ) -> None:
+        """Extend a run accumulator over ``[lo, hi)``, chain-exactly."""
+        if run.n == 0:
+            run.start_time_s = float(times[lo])
+        run.n += hi - lo
+        run.total, run.total_sq = _chain_total_pair(
+            run.total, run.total_sq, values[lo:hi]
+        )
+        run.last_time_s = float(times[hi - 1])
 
     def _maybe_arm(self) -> None:
         """Freeze the baseline once the current segment has warmed up."""

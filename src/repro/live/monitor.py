@@ -62,12 +62,19 @@ def build_monitor(
     channel_policy: str = "drop_oldest",
     max_samples_per_drain: int | None = None,
     supervisor_config: SupervisorConfig | None = None,
+    columnar: bool = False,
 ) -> tuple[MonitorPipeline, OnlineCusum, RegimeTracker, InterventionAdvisor]:
     """Assemble the standard monitoring pipeline; returns its stages.
 
     With ``supervisor_config`` the pipeline is the fault-tolerant
     :class:`~repro.live.supervisor.SupervisedPipeline`; otherwise the plain
-    strict pipeline.
+    strict pipeline. ``columnar=True`` selects the vectorised hot path in
+    every processor — bit-identical alerts, metrics and checkpoints, at a
+    large throughput multiple (see docs/operations.md, "Columnar fast
+    path"). Channel parameters are validated here, up front: an unknown
+    ``channel_policy`` or a non-positive ``channel_capacity_samples``
+    raises :class:`~repro.errors.MonitoringError` immediately rather than
+    on first overflow.
     """
     detector = OnlineCusum(POWER_STREAM, cusum_config)
     tracker = RegimeTracker(CI_STREAM, tracker_config)
@@ -77,6 +84,7 @@ def build_monitor(
         channel_policy=channel_policy,
         max_samples_per_drain=max_samples_per_drain,
         sinks=sinks,
+        columnar=columnar,
     )
     if supervisor_config is not None:
         pipeline: MonitorPipeline = SupervisedPipeline(
@@ -283,6 +291,14 @@ def monitor_main(argv: list[str] | None = None) -> int:
         help="rollup window size, hours (default: 24)",
     )
     parser.add_argument(
+        "--columnar",
+        action="store_true",
+        help=(
+            "use the vectorised hot path (bit-identical output, "
+            "several times faster)"
+        ),
+    )
+    parser.add_argument(
         "--quiet",
         action="store_true",
         help="suppress the live alert feed, print only the summary",
@@ -362,6 +378,7 @@ def monitor_main(argv: list[str] | None = None) -> int:
         rollup_window_s=args.window_hours * SECONDS_PER_HOUR,
         sinks=sinks,
         supervisor_config=supervisor_config,
+        columnar=args.columnar,
     )
     if not args.quiet:
         print()

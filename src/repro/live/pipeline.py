@@ -25,7 +25,7 @@ from typing import Iterable
 from ..errors import MonitoringError
 from .advisor import InterventionAdvisor
 from .alerts import Alert, AlertSink
-from .channel import BoundedChannel
+from .channel import OVERFLOW_POLICIES, BoundedChannel
 from .events import StreamBatch, merge_batches
 from .processors import Processor
 
@@ -160,6 +160,7 @@ class MonitorPipeline:
         channel_policy: str = "drop_oldest",
         max_samples_per_drain: int | None = None,
         sinks: Iterable[AlertSink] = (),
+        columnar: bool = False,
     ) -> None:
         """Create an empty pipeline; attach processors before :meth:`run`.
 
@@ -169,7 +170,26 @@ class MonitorPipeline:
         than the remaining budget waits for a later cycle. A finite cap
         therefore models a consumer slower than ingest — channels fill, the
         overflow policy sheds, and the shed counts surface in the metrics.
+
+        ``columnar=True`` switches every attached processor to its
+        vectorised batch path; alerts, metrics and checkpoints are
+        bit-identical to the scalar pipeline's (see docs/operations.md,
+        "Columnar fast path").
         """
+        # Channel parameters are validated here, up front, rather than on
+        # first overflow deep inside the channel.
+        if channel_policy not in OVERFLOW_POLICIES:
+            raise MonitoringError(
+                f"unknown overflow policy {channel_policy!r}; "
+                f"choose from {OVERFLOW_POLICIES}"
+            )
+        if channel_capacity_samples < 1:
+            raise MonitoringError(
+                f"channel_capacity_samples must be >= 1, "
+                f"got {channel_capacity_samples}"
+            )
+        if max_samples_per_drain is not None and max_samples_per_drain < 1:
+            raise MonitoringError("max_samples_per_drain must be >= 1 or None")
         self._channels: dict[str, BoundedChannel] = {}
         self._processors: dict[str, list[Processor]] = {}
         self._sinks: list[AlertSink] = list(sinks)
@@ -177,16 +197,21 @@ class MonitorPipeline:
         self._capacity = channel_capacity_samples
         self._policy = channel_policy
         self._drain_budget = max_samples_per_drain
-        if max_samples_per_drain is not None and max_samples_per_drain < 1:
-            raise MonitoringError("max_samples_per_drain must be >= 1 or None")
+        self.columnar = bool(columnar)
         self._alerts: list[Alert] = []
         self.metrics = PipelineMetrics()
 
     # -- wiring ----------------------------------------------------------------
 
     def add_processor(self, processor: Processor) -> "MonitorPipeline":
-        """Subscribe a processor to its stream; returns ``self`` for chaining."""
+        """Subscribe a processor to its stream; returns ``self`` for chaining.
+
+        A columnar pipeline flips each attached processor onto its
+        vectorised path (processors default to scalar).
+        """
         stream = processor.stream
+        if self.columnar:
+            processor.columnar = True
         if stream not in self._channels:
             self._channels[stream] = BoundedChannel(
                 name=stream,

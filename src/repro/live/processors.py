@@ -12,7 +12,7 @@ import math
 import numpy as np
 
 from ..errors import MonitoringError
-from ..telemetry.streaming import OnlineStats, P2Quantile
+from ..telemetry.streaming import MergingQuantileSketch, OnlineStats
 from ..units import SECONDS_PER_DAY
 from .alerts import Alert, RollupAlert
 from .events import StreamBatch
@@ -23,9 +23,15 @@ __all__ = ["Processor", "WindowedRollup"]
 class Processor:
     """Base class: consume batches of one stream, emit alerts."""
 
-    def __init__(self, stream: str) -> None:
-        """Subscribe to ``stream``."""
+    def __init__(self, stream: str, columnar: bool = False) -> None:
+        """Subscribe to ``stream``.
+
+        ``columnar`` selects the vectorised batch path in processors that
+        implement one; the scalar path is retained as the parity oracle
+        and both produce bit-identical alerts and ``state_dict`` contents.
+        """
         self.stream = stream
+        self.columnar = bool(columnar)
 
     def process(self, batch: StreamBatch) -> list[Alert]:
         """Absorb one batch; return any alerts it triggered."""
@@ -51,12 +57,24 @@ class Processor:
 class WindowedRollup(Processor):
     """Tumbling-window statistics over one stream.
 
-    Each ``window_s``-wide window (aligned to multiples of ``window_s``)
-    accumulates an :class:`~repro.telemetry.streaming.OnlineStats` and one
-    :class:`~repro.telemetry.streaming.P2Quantile` per requested quantile,
-    all in O(1) memory. When a sample lands past the current window the
-    closed window is emitted as a :class:`~repro.live.alerts.RollupAlert` —
-    the monitor's always-on answer to "what did the last day look like".
+    Each ``window_s``-wide window accumulates an
+    :class:`~repro.telemetry.streaming.OnlineStats` and one shared
+    :class:`~repro.telemetry.streaming.MergingQuantileSketch`, all in
+    bounded memory. When a sample lands past the current window the closed
+    window is emitted as a :class:`~repro.live.alerts.RollupAlert` — the
+    monitor's always-on answer to "what did the last day look like".
+
+    Window *k* covers ``[k * window_s, (k + 1) * window_s)`` —
+    start-inclusive, end-exclusive — so a sample landing exactly on an
+    edge opens window *k* and belongs to it alone, and :meth:`finish`
+    never emits an empty final window (regression-pinned in
+    ``tests/live/test_rollup_boundaries.py``).
+
+    The bucketing below is columnar by construction (NumPy window
+    bucketing over whole batches) and both accumulators are
+    chunking-invariant, so the inherited ``columnar`` flag changes
+    nothing here: scalar and columnar pipelines share this single
+    implementation and agree bit-for-bit.
     """
 
     def __init__(
@@ -64,22 +82,35 @@ class WindowedRollup(Processor):
         stream: str,
         window_s: float = SECONDS_PER_DAY,
         quantiles: tuple[float, ...] = (0.05, 0.5, 0.95),
+        columnar: bool = False,
     ) -> None:
         """Roll ``stream`` up into ``window_s`` tumbling windows."""
-        super().__init__(stream)
+        super().__init__(stream, columnar=columnar)
         if window_s <= 0:
             raise MonitoringError(f"window_s must be positive, got {window_s}")
         self.window_s = float(window_s)
         self.quantile_levels = tuple(quantiles)
         self._window_index: int | None = None
         self._stats = OnlineStats()
-        self._quantiles = [P2Quantile(q) for q in self.quantile_levels]
+        self._sketch = MergingQuantileSketch()
         self.windows_closed = 0
 
     def process(self, batch: StreamBatch) -> list[Alert]:
         """Split the batch at window boundaries and accumulate each part."""
         alerts: list[Alert] = []
         times, values = batch.times_s, batch.values
+        first = int(times[0] // self.window_s)
+        if int(times[-1] // self.window_s) == first:
+            # Fast path: the whole batch lands in one window (the common
+            # case — batches span seconds to minutes, windows span a day),
+            # so the per-sample bucketing below would find a single slice.
+            if self._window_index is not None and first != self._window_index:
+                alerts.append(self._close_window())
+            if self._window_index is None:
+                self._window_index = first
+            self._stats.update_trusted(times, values)
+            self._sketch.update(values)
+            return alerts
         indices = np.floor_divide(times, self.window_s).astype(int)
         lo = 0
         while lo < len(times):
@@ -89,9 +120,8 @@ class WindowedRollup(Processor):
                 alerts.append(self._close_window())
             if self._window_index is None:
                 self._window_index = index
-            self._stats.update(times[lo:hi], values[lo:hi])
-            for tracker in self._quantiles:
-                tracker.update(values[lo:hi])
+            self._stats.update_trusted(times[lo:hi], values[lo:hi])
+            self._sketch.update(values[lo:hi])
             lo = hi
         return alerts
 
@@ -115,22 +145,21 @@ class WindowedRollup(Processor):
             minimum=stats.minimum,
             maximum=stats.maximum,
             quantiles=tuple(
-                (q, tracker.result())
-                for q, tracker in zip(self.quantile_levels, self._quantiles)
+                (q, self._sketch.result(q)) for q in self.quantile_levels
             ),
         )
         self.windows_closed += 1
         self._window_index = None
         self._stats = OnlineStats()
-        self._quantiles = [P2Quantile(q) for q in self.quantile_levels]
+        self._sketch = MergingQuantileSketch()
         return alert
 
     def state_dict(self) -> dict:
-        """Snapshot the open window (stats + quantile markers) exactly."""
+        """Snapshot the open window (stats + quantile sketch) exactly."""
         return {
             "window_index": self._window_index,
             "stats": self._stats.state_dict(),
-            "quantiles": [t.state_dict() for t in self._quantiles],
+            "sketch": self._sketch.state_dict(),
             "windows_closed": self.windows_closed,
         }
 
@@ -138,5 +167,5 @@ class WindowedRollup(Processor):
         """Restore an open window snapshotted by :meth:`state_dict`."""
         self._window_index = state["window_index"]
         self._stats = OnlineStats.restore(state["stats"])
-        self._quantiles = [P2Quantile.restore(s) for s in state["quantiles"]]
+        self._sketch = MergingQuantileSketch.restore(state["sketch"])
         self.windows_closed = state["windows_closed"]

@@ -22,6 +22,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..core.regimes import PAPER_HIGH_CI, PAPER_LOW_CI, Regime, classify_ci
 from ..errors import MonitoringError
 from .alerts import Alert, RegimeChangeAlert
@@ -60,11 +62,27 @@ class RegimeTrackerConfig:
 
 
 class RegimeTracker(Processor):
-    """Tracks the §2 regime of a live CI stream without boundary flapping."""
+    """Tracks the §2 regime of a live CI stream without boundary flapping.
 
-    def __init__(self, stream: str, config: RegimeTrackerConfig | None = None) -> None:
+    With ``columnar=True`` each batch is classified in one vectorised pass
+    (the same ``< low`` / ``≤ high`` / ``> high`` rule as
+    :func:`~repro.core.regimes.classify_ci`) and hysteresis plus debounce
+    are applied on the run-length-encoded regime sequence; the per-sample
+    loop remains the parity oracle and both paths commit bit-identical
+    transitions and ``state_dict`` contents.
+    """
+
+    #: classify_ci outcome ↔ integer code used by the vectorised pass.
+    _REGIME_OF_CODE = (Regime.SCOPE3_DOMINATED, Regime.BALANCED, Regime.SCOPE2_DOMINATED)
+
+    def __init__(
+        self,
+        stream: str,
+        config: RegimeTrackerConfig | None = None,
+        columnar: bool = False,
+    ) -> None:
         """Track regimes on ``stream`` under ``config``."""
-        super().__init__(stream)
+        super().__init__(stream, columnar=columnar)
         self.config = config or RegimeTrackerConfig()
         self.current: Regime | None = None
         self._pending_regime: Regime | None = None
@@ -86,6 +104,11 @@ class RegimeTracker(Processor):
 
     def process(self, batch: StreamBatch) -> list[Alert]:
         """Absorb CI samples; return committed regime transitions."""
+        if self.columnar:
+            return self._process_columnar(batch)
+        return self._process_scalar(batch)
+
+    def _process_scalar(self, batch: StreamBatch) -> list[Alert]:
         alerts: list[Alert] = []
         cfg = self.config
         for time_s, ci in zip(batch.times_s.tolist(), batch.values.tolist()):
@@ -121,6 +144,99 @@ class RegimeTracker(Processor):
                 self._pending_regime = None
                 self._pending_count = 0
         return alerts
+
+    # -- columnar fast path ----------------------------------------------------
+
+    def _process_columnar(self, batch: StreamBatch) -> list[Alert]:
+        """Vectorised ingest: classify the batch in one pass, then walk the
+        run-length-encoded candidate sequence — bit-identical to
+        :meth:`_process_scalar` by construction."""
+        alerts: list[Alert] = []
+        cfg = self.config
+        values = batch.values
+        nan_mask = np.isnan(values)
+        # A negative sample aborts the batch mid-way (classify_ci raises),
+        # so only NaNs the scalar loop would have reached are counted.
+        negatives = np.flatnonzero(values < 0.0)
+        nan_limit = int(negatives[0]) if len(negatives) else len(values)
+        self.nan_samples += int(np.count_nonzero(nan_mask[:nan_limit]))
+        if nan_mask.any():
+            keep = ~nan_mask
+            times = batch.times_s[keep]
+            values = values[keep]
+        else:
+            times = batch.times_s
+        n = len(values)
+        i = 0
+        while i < n:
+            if self.current is None:
+                ci = float(values[i])
+                self.current = classify_ci(
+                    ci, cfg.low_ci_g_per_kwh, cfg.high_ci_g_per_kwh
+                )
+                alerts.append(self._commit(None, self.current, float(times[i]), ci))
+                i += 1
+                continue
+            i = self._columnar_span(times, values, i, n, alerts)
+        return alerts
+
+    def _columnar_span(
+        self,
+        times: np.ndarray,
+        values: np.ndarray,
+        lo: int,
+        n: int,
+        alerts: list[Alert],
+    ) -> int:
+        """Apply hysteresis/debounce to ``[lo, n)`` under the current sticky
+        band; returns the index processed up to. Stops early on a committed
+        transition (the band changes) and re-raises exactly where the
+        scalar loop would on a negative CI sample."""
+        cfg = self.config
+        low, high = self._sticky_bounds(self.current)
+        ci = values[lo:n]
+        limit = n - lo
+        negatives = np.flatnonzero(ci < 0.0)
+        if len(negatives):
+            limit = int(negatives[0])
+            if limit == 0:
+                classify_ci(float(ci[0]), low, high)  # raises ConfigurationError
+        # classify_ci's boundary rule, vectorised: < low / ≤ high / > high.
+        codes = np.where(ci[:limit] < low, 0, np.where(ci[:limit] > high, 2, 1))
+        current_code = self._REGIME_OF_CODE.index(self.current)
+        run_bounds = (np.flatnonzero(codes[1:] != codes[:-1]) + 1).tolist()
+        starts = [0, *run_bounds]
+        ends = [*run_bounds, limit]
+        for start, end in zip(starts, ends):
+            code = int(codes[start])
+            if code == current_code:
+                self._pending_regime = None
+                self._pending_count = 0
+                continue
+            candidate = self._REGIME_OF_CODE[code]
+            if candidate is not self._pending_regime:
+                self._pending_regime = candidate
+                self._pending_count = 0
+                self._pending_time_s = float(times[lo + start])
+                self._pending_ci = float(values[lo + start])
+            need = cfg.min_dwell_samples - self._pending_count
+            if end - start >= need:
+                # Dwell satisfied mid-run: commit and rescan the remainder
+                # under the new regime's sticky band.
+                previous = self.current
+                self.current = candidate
+                alerts.append(
+                    self._commit(
+                        previous, candidate, self._pending_time_s, self._pending_ci
+                    )
+                )
+                self._pending_regime = None
+                self._pending_count = 0
+                return lo + start + need
+            self._pending_count += end - start
+        if len(negatives):
+            classify_ci(float(ci[limit]), low, high)  # raises ConfigurationError
+        return n
 
     def _commit(
         self, previous: Regime | None, regime: Regime, time_s: float, ci: float

@@ -7,6 +7,7 @@ from .recorder import CabinetPowerRecorder
 from .series import TimeSeries
 from .streaming import (
     ChunkedSeriesReader,
+    MergingQuantileSketch,
     OnlineStats,
     P2Quantile,
     SeriesChunk,
@@ -18,6 +19,7 @@ __all__ = [
     "TimeSeries",
     "OnlineStats",
     "P2Quantile",
+    "MergingQuantileSketch",
     "SeriesChunk",
     "ChunkedSeriesReader",
     "as_chunk_reader",

@@ -10,6 +10,9 @@ alternative the analysis layer feeds from:
   min/max, NaN-aware valid counts and the time-weighted mean, updatable in
   arbitrary chunks and mergeable across adjacent spans.
 * :class:`P2Quantile` — the P² marker estimator for streaming percentiles.
+* :class:`MergingQuantileSketch` — a block-merging quantile summary whose
+  state depends only on the sequence of observations, never on how they
+  were chunked, so scalar and vectorised consumers agree bit-for-bit.
 * :class:`ChunkedSeriesReader` — fixed-size chunk iteration over a
   :class:`TimeSeries`, a telemetry CSV, or an NPZ archive; re-iterable so
   multi-pass algorithms (change-point detection) can rewind.
@@ -36,6 +39,7 @@ __all__ = [
     "SeriesChunk",
     "OnlineStats",
     "P2Quantile",
+    "MergingQuantileSketch",
     "ChunkedSeriesReader",
     "as_chunk_reader",
     "stream_stats",
@@ -128,18 +132,40 @@ class OnlineStats:
                 f"chunk starts at t={times[0]} but {self._t_last} was already seen; "
                 "chunks must arrive in strictly increasing time order"
             )
+        return self._fold_chunk(times, values)
 
+    def update_trusted(self, times_s: np.ndarray, values: np.ndarray) -> "OnlineStats":
+        """Fold a pre-validated chunk in, skipping the shape and order checks.
+
+        For hot paths feeding float slices of batches that were already
+        validated at construction (the live rollup's window slices): the
+        arithmetic is byte-for-byte :meth:`update`'s — only the error
+        checks are skipped — so the resulting state is bit-identical.
+        """
+        if len(times_s) == 0:
+            return self
+        return self._fold_chunk(times_s, values)
+
+    def _fold_chunk(self, times: np.ndarray, values: np.ndarray) -> "OnlineStats":
+        """Accumulate one non-empty, validated chunk (shared by both updates)."""
         # Time-weighting: the pending last sample's interval completes at the
         # chunk's first timestamp, then every in-chunk interval completes.
+        # The interval/holder arrays are built by direct assignment — the
+        # same pairwise differences a diff over the concatenation computes,
+        # without materialising the concatenated copies.
+        m = len(times)
         if self._n_total == 0:
             self._t_first = float(times[0])
-            all_t, all_v = times, values
+            dts = times[1:] - times[:-1] if m >= 2 else None
+            holders = values[:-1] if m >= 2 else None
         else:
-            all_t = np.concatenate(([self._t_last], times))
-            all_v = np.concatenate(([self._v_last], values))
-        if len(all_t) >= 2:
-            dts = np.diff(all_t)
-            holders = all_v[:-1]
+            dts = np.empty(m)
+            dts[0] = times[0] - self._t_last
+            np.subtract(times[1:], times[:-1], out=dts[1:])
+            holders = np.empty(m)
+            holders[0] = self._v_last
+            holders[1:] = values[:-1]
+        if dts is not None:
             held = ~np.isnan(holders)
             self._tw_sum += float(np.dot(holders[held], dts[held]))
             self._tw_weight += float(dts[held].sum())
@@ -430,6 +456,179 @@ class P2Quantile:
         return out
 
 
+class MergingQuantileSketch:
+    """Deterministic block-merging quantile summary over a value stream.
+
+    Observations fill a fixed buffer of ``block_size`` values; every time
+    the buffer fills *exactly*, the sorted block is merged into a bounded
+    summary of ``summary_size`` equally-weighted points (a one-level
+    weight-collapsing merge in the spirit of Greenwald–Khanna / KLL
+    compactors). Because compaction happens at fixed sample counts and all
+    arithmetic is array-deterministic, the sketch state is a pure function
+    of the observation *sequence* — feeding samples one at a time or in
+    arbitrary chunks yields bit-identical state and results. That property
+    is what lets the scalar and columnar rollup paths share one estimator.
+
+    Memory is O(block_size + summary_size); rank error after *F* folds is
+    about ``F / (4 * summary_size)`` of the distribution, exact while fewer
+    than ``block_size`` observations have been absorbed. NaN observations
+    are skipped, matching ``np.nanpercentile``'s intent.
+    """
+
+    def __init__(self, block_size: int = 16384, summary_size: int = 2048) -> None:
+        """Buffer ``block_size`` values per fold; keep ``summary_size`` points."""
+        if block_size < 2:
+            raise TelemetryError(f"block_size must be >= 2, got {block_size}")
+        if summary_size < 2:
+            raise TelemetryError(f"summary_size must be >= 2, got {summary_size}")
+        self.block_size = int(block_size)
+        self.summary_size = int(summary_size)
+        # Allocated on first observation: an idle sketch (a rollup window
+        # that never receives its stream) costs no block-sized buffer.
+        self._buffer: np.ndarray | None = None
+        self._fill = 0
+        self._summary = np.empty(0, dtype=float)
+        self._weight = 0.0
+        self._n_valid = 0
+
+    def add(self, x: float) -> None:
+        """Absorb one observation (NaN ignored)."""
+        if math.isnan(x):
+            return
+        if self._buffer is None:
+            self._buffer = np.empty(self.block_size, dtype=float)
+        self._buffer[self._fill] = x
+        self._fill += 1
+        self._n_valid += 1
+        if self._fill == self.block_size:
+            self._fold()
+
+    def update(self, values: np.ndarray) -> "MergingQuantileSketch":
+        """Absorb a chunk of observations; returns ``self`` for chaining."""
+        chunk = np.asarray(values, dtype=float)
+        if chunk.ndim != 1:
+            raise SeriesShapeError("chunk values must be 1-D")
+        chunk = chunk[~np.isnan(chunk)]
+        if not len(chunk):
+            return self
+        if self._buffer is None:
+            self._buffer = np.empty(self.block_size, dtype=float)
+        self._n_valid += len(chunk)
+        pos = 0
+        while pos < len(chunk):
+            take = min(self.block_size - self._fill, len(chunk) - pos)
+            self._buffer[self._fill : self._fill + take] = chunk[pos : pos + take]
+            self._fill += take
+            pos += take
+            if self._fill == self.block_size:
+                self._fold()
+        return self
+
+    def _fold(self) -> None:
+        """Collapse the full buffer and the summary into a fresh summary."""
+        values, weights = self._merged(np.sort(self._buffer))
+        cum = np.cumsum(weights)
+        del weights
+        total = float(cum[-1])
+        m = self.summary_size
+        # One representative per equal-mass stratum: the first point whose
+        # cumulative weight reaches the stratum's centre of mass.
+        targets = (np.arange(m) + 0.5) * (total / m)
+        picks = np.minimum(np.searchsorted(cum, targets, side="left"), len(values) - 1)
+        self._summary = values[picks]
+        self._weight = total / m
+        self._fill = 0
+
+    def _merged(self, block: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Weighted merge of the summary with a sorted block of unit weights.
+
+        The stable argsort keeps summary points ahead of equal block values
+        (deterministic tie order); the block itself needs no stable sort —
+        its entries all carry unit weight, so equal values are
+        interchangeable.
+        """
+        n_s = len(self._summary)
+        if not n_s:
+            return block, np.ones(len(block))
+        n = n_s + len(block)
+        values = np.concatenate((self._summary, block))
+        del block  # drop the sorted copy before the argsort transient peaks
+        weights = np.empty(n)
+        weights[:n_s] = self._weight
+        weights[n_s:] = 1.0
+        order = np.argsort(values, kind="stable")
+        values = values.take(order)
+        weights = weights.take(order)
+        del order
+        return values, weights
+
+    def result(self, q: float) -> float:
+        """Estimate the ``q``-quantile (NaN if nothing absorbed yet)."""
+        if not 0.0 < q < 1.0:
+            raise TelemetryError(f"quantile must be in (0, 1), got {q}")
+        if self._n_valid == 0:
+            return math.nan
+        pending = (
+            self._buffer[: self._fill]
+            if self._buffer is not None
+            else np.empty(0, dtype=float)
+        )
+        if not len(self._summary):
+            return float(np.percentile(pending, 100.0 * q))
+        values, weights = self._merged(np.sort(pending))
+        cum = np.cumsum(weights)
+        centres = cum - weights / 2.0
+        return float(np.interp(q * cum[-1], centres, values))
+
+    # -- persistence -----------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-serialisable snapshot of the sketch (see ``restore``)."""
+        return {
+            "block_size": self.block_size,
+            "summary_size": self.summary_size,
+            "n_valid": self._n_valid,
+            "pending": (
+                [float(x) for x in self._buffer[: self._fill]]
+                if self._buffer is not None
+                else []
+            ),
+            "summary": [float(x) for x in self._summary],
+            "summary_weight": self._weight,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Overwrite the sketch in place from a :meth:`state_dict` snapshot.
+
+        The round-trip is exact: JSON float serialisation is shortest
+        round-trip, so a restored sketch continues bit-identically.
+        """
+        self.block_size = int(state["block_size"])
+        self.summary_size = int(state["summary_size"])
+        pending = np.asarray(state["pending"], dtype=float)
+        self._fill = len(pending)
+        if self._fill:
+            self._buffer = np.empty(self.block_size, dtype=float)
+            self._buffer[: self._fill] = pending
+        else:
+            self._buffer = None
+        self._summary = np.asarray(state["summary"], dtype=float)
+        self._weight = float(state["summary_weight"])
+        self._n_valid = int(state["n_valid"])
+
+    @classmethod
+    def restore(cls, state: dict) -> "MergingQuantileSketch":
+        """Rebuild a sketch from a :meth:`state_dict` snapshot, exactly."""
+        out = cls(int(state["block_size"]), int(state["summary_size"]))
+        out.load_state_dict(state)
+        return out
+
+    @property
+    def n_valid(self) -> int:
+        """Non-NaN observations absorbed."""
+        return self._n_valid
+
+
 class ChunkedSeriesReader:
     """Re-iterable fixed-size chunk source over telemetry.
 
@@ -439,6 +638,16 @@ class ChunkedSeriesReader:
     sliced). Each ``iter()`` restarts from the beginning, which is what
     multi-pass consumers like change-point detection need.
     """
+
+    @property
+    def prevalidated(self) -> bool:
+        """Whether chunks are views of an already-validated in-memory series.
+
+        True only for :class:`TimeSeries` sources, whose constructor has
+        already enforced finite, strictly-increasing timestamps; file
+        sources are parsed row-by-row and must be re-checked by consumers.
+        """
+        return self._series is not None
 
     def __init__(
         self,

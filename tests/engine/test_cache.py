@@ -56,6 +56,29 @@ class TestLRUCache:
         with pytest.raises(ConfigurationError):
             LRUCache(max_entries=0)
 
+    def test_put_existing_at_capacity_evicts_nothing(self):
+        """Overwriting a resident key at max_entries must not evict: the
+        size does not grow, so no spurious eviction may fire."""
+        lru = LRUCache(max_entries=2)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        lru.put("a", 10)  # overwrite while full
+        assert len(lru) == 2
+        assert "a" in lru and "b" in lru
+        assert lru.get("a") == 10
+
+    def test_put_existing_refreshes_recency(self):
+        """An overwritten key becomes most-recently-used, so the *other*
+        key is the one evicted by the next insertion."""
+        lru = LRUCache(max_entries=2)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        lru.put("a", 10)  # a is now MRU; b is LRU
+        lru.put("c", 3)
+        assert "b" not in lru
+        assert "a" in lru and "c" in lru
+        assert lru.get("a") == 10
+
 
 class TestSweepStoreChunks:
     def test_round_trip_is_byte_identical(self, tmp_path):

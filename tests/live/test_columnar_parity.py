@@ -1,0 +1,153 @@
+"""Columnar-vs-scalar parity: the vectorised hot path must be bit-identical.
+
+Every scenario in ``SCENARIO_BUILDERS`` is replayed through both paths —
+clean and under the full chaos-injector suite — and the alerts, segments,
+transitions, metrics and per-processor checkpoint state must match exactly
+(string-equal JSON, not approximately). Checkpoints written by one path
+must resume under the other and still finish bit-identical to an
+uninterrupted run.
+"""
+
+import json
+
+import pytest
+
+from repro.live.checkpoint import alert_to_dict
+from repro.live.faults import FAULT_NAMES
+from repro.live.monitor import build_monitor, run_monitor
+from repro.live.replay import SCENARIO_BUILDERS, build_scenario, scenario_sources
+from repro.live.supervisor import SupervisorConfig
+
+#: Short enough to keep the matrix fast, long enough to cross the fig2/fig3
+#: interventions and several regime plateaus.
+DURATION_DAYS = 30.0
+
+
+def outcome_fingerprint(outcome):
+    """Everything observable from a run, as one JSON string (NaN-safe)."""
+    return json.dumps(
+        {
+            "alerts": [alert_to_dict(a) for a in outcome.report.alerts],
+            "segments": [
+                {
+                    "start_time_s": s.start_time_s,
+                    "end_time_s": s.end_time_s,
+                    "n": s.n,
+                    "mean": s.mean,
+                    "std": s.std,
+                }
+                for s in outcome.detector.segments
+            ],
+            "transitions": [alert_to_dict(a) for a in outcome.tracker.transitions],
+            "metrics": outcome.report.metrics.state_dict(),
+            "detector_state": outcome.detector.state_dict(),
+            "tracker_state": outcome.tracker.state_dict(),
+        }
+    )
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIO_BUILDERS))
+class TestCleanScenarios:
+    def test_bit_identical(self, name):
+        scenario = build_scenario(name, duration_days=DURATION_DAYS)
+        scalar = run_monitor(scenario, batch_size=512, columnar=False)
+        columnar = run_monitor(scenario, batch_size=512, columnar=True)
+        assert outcome_fingerprint(columnar) == outcome_fingerprint(scalar)
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIO_BUILDERS))
+class TestChaosScenarios:
+    """Same property under the PR 3 fault suite: dropouts, duplicates,
+    reorderings and spikes, supervised, with the full checkpoint payload
+    (processors, advisor, metrics, alerts, RNG state) compared."""
+
+    def run_supervised(self, scenario, columnar):
+        pipeline, detector, tracker, _ = build_monitor(
+            supervisor_config=SupervisorConfig(seed=5), columnar=columnar
+        )
+        power, ci = scenario_sources(
+            scenario, batch_size=256, faults=list(FAULT_NAMES), fault_seed=7
+        )
+        report = pipeline.run(power, ci)
+        return pipeline, detector, tracker, report
+
+    def test_bit_identical_under_chaos(self, name):
+        scenario = build_scenario(name, duration_days=DURATION_DAYS)
+        s_pipe, s_det, s_track, s_report = self.run_supervised(scenario, False)
+        c_pipe, c_det, c_track, c_report = self.run_supervised(scenario, True)
+        assert c_report.alerts == s_report.alerts
+        assert tuple(c_det.segments) == tuple(s_det.segments)
+        assert tuple(c_track.transitions) == tuple(s_track.transitions)
+        assert json.dumps(c_report.metrics.state_dict()) == json.dumps(
+            s_report.metrics.state_dict()
+        )
+        # The strongest single assertion: the full checkpoint payloads match.
+        assert json.dumps(c_pipe.checkpoint()) == json.dumps(s_pipe.checkpoint())
+
+
+class Killed(RuntimeError):
+    """Simulated hard kill of the monitor process."""
+
+
+def kill_after(source, n_batches):
+    for i, batch in enumerate(source):
+        if i >= n_batches:
+            raise Killed(f"killed after {n_batches} batches")
+        yield batch
+
+
+class TestCheckpointInterchangeability:
+    """A checkpoint written by one path resumes under the other and the
+    finished run is bit-identical to an uninterrupted reference."""
+
+    FAULTS = list(FAULT_NAMES)
+
+    def run_sources(self, pipeline, scenario, killed_after=None):
+        power, ci = scenario_sources(
+            scenario, batch_size=256, faults=self.FAULTS, fault_seed=9
+        )
+        if killed_after is not None:
+            power = kill_after(power, killed_after)
+        return pipeline.run(power, ci)
+
+    def reference(self, scenario):
+        pipeline, detector, tracker, _ = build_monitor(
+            supervisor_config=SupervisorConfig(seed=3), columnar=False
+        )
+        report = self.run_sources(pipeline, scenario)
+        return report, tuple(detector.segments), tuple(tracker.transitions)
+
+    @pytest.mark.parametrize(
+        "write_columnar,resume_columnar",
+        [(True, False), (False, True)],
+        ids=["columnar-writes-scalar-resumes", "scalar-writes-columnar-resumes"],
+    )
+    def test_cross_path_resume(self, tmp_path, write_columnar, resume_columnar):
+        scenario = build_scenario("fig2", duration_days=DURATION_DAYS)
+        full_report, full_segments, full_transitions = self.reference(scenario)
+
+        ckpt = tmp_path / "monitor.ckpt"
+        cfg = SupervisorConfig(
+            seed=3, checkpoint_path=ckpt, checkpoint_every_s=2 * 86400.0
+        )
+        victim, *_ = build_monitor(supervisor_config=cfg, columnar=write_columnar)
+        with pytest.raises(Killed):
+            self.run_sources(victim, scenario, killed_after=7)
+        assert ckpt.exists()
+
+        resumed, r_det, r_track, _ = build_monitor(
+            supervisor_config=cfg, columnar=resume_columnar
+        )
+        resumed.resume_from(ckpt)
+        report = self.run_sources(resumed, scenario)
+
+        assert tuple(r_det.segments) == full_segments
+        assert tuple(r_track.transitions) == full_transitions
+        assert report.alerts == full_report.alerts
+        resumed_state = report.metrics.state_dict()
+        full_state = full_report.metrics.state_dict()
+        # The loaded checkpoint does not count itself on the resumed side.
+        resumed_state.pop("checkpoints_written")
+        full_state.pop("checkpoints_written")
+        assert resumed_state == full_state
+        assert report.metrics.reconciles()

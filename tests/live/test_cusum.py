@@ -117,6 +117,44 @@ class TestDetection:
         detector.finish()
         assert len(detector.segments) == 1
 
+    def test_mid_segment_resume_between_alarm_and_rearm(self, rng):
+        """Kill the detector after an alarm but before the new segment has
+        re-armed, resume from the state_dict, and the final segmentation is
+        exactly the uninterrupted run's — not just approximately."""
+        import json
+
+        times, values = step_signal(rng)
+        reference = OnlineCusum(POWER_STREAM)
+        feed(reference, times, values)
+        reference.finish()
+
+        victim = OnlineCusum(POWER_STREAM)
+        snapshot = None
+        kill_at = None
+        for i in range(len(times)):
+            victim.process(
+                StreamBatch(POWER_STREAM, times[i : i + 1], values[i : i + 1])
+            )
+            if victim.segments and not victim.armed:
+                # Alarmed, new segment still warming up: the window the
+                # whole-pipeline checkpoint tests never hit.
+                snapshot = json.loads(json.dumps(victim.state_dict()))
+                kill_at = i + 1
+                break
+        assert snapshot is not None, "the step must alarm before warmup completes"
+
+        resumed = OnlineCusum(POWER_STREAM)
+        resumed.load_state_dict(snapshot)
+        assert not resumed.armed
+        feed(resumed, times[kill_at:], values[kill_at:])
+        resumed.finish()
+
+        assert resumed.segments == reference.segments
+        assert resumed.nan_samples == reference.nan_samples
+        assert json.dumps(resumed.state_dict()) == json.dumps(
+            reference.state_dict()
+        )
+
     def test_zero_variance_baseline_survives(self):
         """A constant baseline must arm (sigma floored) without crashing."""
         detector = OnlineCusum(POWER_STREAM, CusumConfig(warmup_samples=8))

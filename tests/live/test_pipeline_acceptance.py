@@ -165,6 +165,34 @@ class TestBackpressure:
             MonitorPipeline().run(iter(()))
 
 
+class TestChannelParameterValidation:
+    """Bad channel parameters fail at build time with the allowed values in
+    the message — not on first overflow deep inside the channel."""
+
+    def test_unknown_policy_rejected_up_front(self):
+        with pytest.raises(MonitoringError, match="drop_oldest"):
+            build_monitor(channel_policy="drop_latest")
+
+    def test_unknown_policy_message_names_the_offender(self):
+        with pytest.raises(MonitoringError, match="'shred'"):
+            build_monitor(channel_policy="shred")
+
+    @pytest.mark.parametrize("capacity", [0, -1])
+    def test_nonpositive_capacity_rejected_up_front(self, capacity):
+        with pytest.raises(MonitoringError, match="channel_capacity_samples"):
+            build_monitor(channel_capacity_samples=capacity)
+
+    def test_pipeline_validates_directly(self):
+        with pytest.raises(MonitoringError, match="overflow policy"):
+            MonitorPipeline(channel_policy="nonsense")
+        with pytest.raises(MonitoringError, match=">= 1"):
+            MonitorPipeline(channel_capacity_samples=0)
+
+    def test_valid_policies_accepted(self):
+        for policy in ("drop_oldest", "drop_newest"):
+            build_monitor(channel_policy=policy)
+
+
 class TestAlertPlumbing:
     def test_sinks_receive_all_alerts(self):
         sink = ListAlertSink()

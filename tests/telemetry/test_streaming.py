@@ -12,6 +12,7 @@ from repro.telemetry.io import save_csv, save_npz
 from repro.telemetry.series import TimeSeries
 from repro.telemetry.streaming import (
     ChunkedSeriesReader,
+    MergingQuantileSketch,
     OnlineStats,
     P2Quantile,
     as_chunk_reader,
@@ -219,6 +220,82 @@ class TestP2Quantile:
         est = P2Quantile(0.5)
         est.update(data)
         assert est.result() == pytest.approx(float(np.median(data)), rel=1e-3)
+
+
+class TestMergingQuantileSketch:
+    def test_invalid_quantile_rejected(self):
+        sketch = MergingQuantileSketch()
+        for q in (0.0, 1.0, -0.2, 1.5):
+            with pytest.raises(TelemetryError):
+                sketch.result(q)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(TelemetryError):
+            MergingQuantileSketch(block_size=1)
+        with pytest.raises(TelemetryError):
+            MergingQuantileSketch(summary_size=0)
+
+    def test_empty_is_nan(self):
+        assert math.isnan(MergingQuantileSketch().result(0.5))
+
+    def test_exact_below_block_size(self):
+        """While the buffer has never folded, results equal np.percentile."""
+        rng = np.random.default_rng(7)
+        data = rng.normal(size=1000)
+        sketch = MergingQuantileSketch(block_size=4096).update(data)
+        for q in (0.05, 0.5, 0.95):
+            assert sketch.result(q) == float(np.percentile(data, 100.0 * q))
+
+    def test_nan_skipped(self):
+        sketch = MergingQuantileSketch().update(
+            np.array([1.0, np.nan, 2.0, np.nan, 3.0])
+        )
+        assert sketch.n_valid == 3
+        assert sketch.result(0.5) == pytest.approx(2.0)
+
+    def test_chunking_invariance_is_bit_exact(self):
+        """Per-sample and arbitrary-chunk feeding give identical state —
+        the property the scalar/columnar rollup parity rests on."""
+        rng = np.random.default_rng(11)
+        data = 3220.0 + 50.0 * rng.standard_normal(5000)
+        data[rng.random(5000) < 0.02] = np.nan
+        scalar = MergingQuantileSketch(block_size=512, summary_size=128)
+        for x in data:
+            scalar.add(float(x))
+        chunked = MergingQuantileSketch(block_size=512, summary_size=128)
+        lo = 0
+        for size in (1, 7, 511, 512, 513, 1000, 2456):
+            chunked.update(data[lo : lo + size])
+            lo += size
+        chunked.update(data[lo:])
+        assert chunked.state_dict() == scalar.state_dict()
+        for q in (0.05, 0.5, 0.95):
+            assert chunked.result(q) == scalar.result(q)
+
+    def test_accuracy_after_many_folds(self):
+        rng = np.random.default_rng(3)
+        data = rng.uniform(0.0, 100.0, 100_000)
+        sketch = MergingQuantileSketch().update(data)
+        for q in (0.05, 0.5, 0.95):
+            assert sketch.result(q) == pytest.approx(100.0 * q, abs=1.0)
+
+    def test_1d_chunks_required(self):
+        with pytest.raises(SeriesShapeError):
+            MergingQuantileSketch().update(np.zeros((2, 2)))
+
+    def test_restore_bit_identical(self):
+        import json
+
+        rng = np.random.default_rng(13)
+        data = rng.normal(size=9000)
+        sketch = MergingQuantileSketch(block_size=1024, summary_size=256)
+        sketch.update(data[:5000])
+        state = json.loads(json.dumps(sketch.state_dict()))
+        resumed = MergingQuantileSketch.restore(state)
+        sketch.update(data[5000:])
+        resumed.update(data[5000:])
+        assert resumed.state_dict() == sketch.state_dict()
+        assert resumed.result(0.5) == sketch.result(0.5)
 
 
 class TestChunkedSeriesReader:
