@@ -10,6 +10,8 @@ Subcommands:
   vectorized engine (:mod:`repro.engine.cli`).
 * ``repro lint`` — AST-based contract checker over the repo's own source
   (:mod:`repro.lint.cli`).
+* ``repro sched`` — rigid vs carbon-aware malleable scheduling comparison
+  (:mod:`repro.scheduler.cli`).
 
 The legacy positional form (``python -m repro T1 T2``, ``--list`` at the
 top level) still works but prints a deprecation notice; use ``repro run``.
@@ -25,7 +27,7 @@ from .experiments import REGISTRY, run_experiment
 
 FAST_EXPERIMENTS = ["T1", "T2", "T3", "T4", "R1", "A1", "A2"]
 
-SUBCOMMANDS = ("run", "monitor", "sweep", "lint")
+SUBCOMMANDS = ("run", "monitor", "sweep", "lint", "sched")
 
 
 def build_parser(prog: str = "repro run") -> argparse.ArgumentParser:
@@ -40,7 +42,8 @@ def build_parser(prog: str = "repro run") -> argparse.ArgumentParser:
             "Other subcommands: 'repro monitor' runs the live facility "
             "monitoring pipeline; 'repro sweep' plans/runs/exports scenario "
             "sweeps through the vectorized engine; 'repro lint' runs the "
-            "AST-based contract checker. See their --help."
+            "AST-based contract checker; 'repro sched' compares rigid vs "
+            "carbon-aware malleable scheduling. See their --help."
         ),
     )
     parser.add_argument(
@@ -118,6 +121,10 @@ def main(argv: list[str] | None = None) -> int:
         from .lint.cli import lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "sched":
+        from .scheduler.cli import sched_main
+
+        return sched_main(argv[1:])
     if argv and argv[0] == "run":
         return run_main(argv[1:])
     # Legacy positional form: `python -m repro T1 T2` / top-level --list.

@@ -8,7 +8,9 @@ from .carbon_intensity import (
 )
 from .events import GridStressEvent, GridStressGenerator, demand_response_summary
 from .forecast import (
+    ForecastIndex,
     ForecastSkill,
+    ForecastWindow,
     diurnal_template_forecast,
     evaluate_forecast,
     persistence_forecast,
@@ -31,6 +33,8 @@ __all__ = [
     "GridStressGenerator",
     "demand_response_summary",
     "ForecastSkill",
+    "ForecastWindow",
+    "ForecastIndex",
     "persistence_forecast",
     "diurnal_template_forecast",
     "evaluate_forecast",

@@ -23,7 +23,29 @@ from ..errors import AnalysisError
 from ..telemetry.series import TimeSeries
 from ..units import SECONDS_PER_DAY, ensure_positive
 
-__all__ = ["ForecastSkill", "persistence_forecast", "diurnal_template_forecast", "evaluate_forecast"]
+__all__ = [
+    "ForecastSkill",
+    "ForecastWindow",
+    "ForecastIndex",
+    "persistence_forecast",
+    "diurnal_template_forecast",
+    "evaluate_forecast",
+]
+
+
+def _forecast_grid(t_end_s: float, horizon_s: float, interval_s: float) -> np.ndarray:
+    """Forecast timestamps: one per whole sampling interval in the horizon.
+
+    The step count is pinned with an epsilon before flooring so an exact
+    multiple never loses (or gains) its final point to float division error
+    — a 24 h horizon at a 1800 s cadence yields exactly 48 points even when
+    ``horizon / interval`` lands at 47.999999…; mirrors the resample grid
+    fix in :mod:`repro.telemetry.series`.
+    """
+    n_steps = int(np.floor(horizon_s / interval_s + 1e-9))
+    if n_steps < 1:
+        raise AnalysisError("horizon shorter than one sampling interval")
+    return t_end_s + interval_s * np.arange(1, n_steps + 1)
 
 
 @dataclass(frozen=True)
@@ -52,11 +74,7 @@ def persistence_forecast(history: TimeSeries, horizon_s: float) -> TimeSeries:
     last_valid = history.values[~np.isnan(history.values)]
     if len(last_valid) == 0:
         raise AnalysisError("history has no valid samples")
-    times = np.arange(
-        history.t_end_s + interval, history.t_end_s + horizon_s + interval / 2, interval
-    )
-    if len(times) == 0:
-        raise AnalysisError("horizon shorter than one sampling interval")
+    times = _forecast_grid(history.t_end_s, horizon_s, interval)
     return TimeSeries(times, np.full(len(times), last_valid[-1]), "ci-persistence")
 
 
@@ -92,13 +110,112 @@ def diurnal_template_forecast(
     with np.errstate(invalid="ignore"):
         template = np.where(counts > 0, sums / np.maximum(counts, 1), overall)
 
-    out_times = np.arange(
-        history.t_end_s + interval, history.t_end_s + horizon_s + interval / 2, interval
-    )
-    if len(out_times) == 0:
-        raise AnalysisError("horizon shorter than one sampling interval")
+    out_times = _forecast_grid(history.t_end_s, horizon_s, interval)
     out_bins = ((out_times % SECONDS_PER_DAY) / interval).astype(int) % bins_per_day
     return TimeSeries(out_times, template[out_bins], "ci-diurnal-template")
+
+
+@dataclass(frozen=True)
+class ForecastWindow:
+    """A candidate execution window with its exact mean carbon intensity."""
+
+    t_start_s: float
+    t_end_s: float
+    mean_ci_g_per_kwh: float
+
+    @property
+    def duration_s(self) -> float:
+        """Window length, seconds."""
+        return self.t_end_s - self.t_start_s
+
+
+class ForecastIndex:
+    """Exact window queries over a step-function carbon-intensity forecast.
+
+    Treats the series as previous-value hold — ``values[i]`` holds on
+    ``[times_s[i], times_s[i+1])`` — extended flat beyond both ends, and
+    precomputes the prefix integral so any window mean is an O(log n)
+    lookup with no quadrature error. This is what the malleable scheduler
+    calls on every placement decision, so it must be cheap and, for
+    reproducibility, bit-deterministic.
+    """
+
+    def __init__(self, series: TimeSeries) -> None:
+        if np.any(np.isnan(series.values)):
+            raise AnalysisError(
+                "forecast series contains NaN samples; fill gaps before indexing"
+            )
+        self.series = series
+        self._times = series.times_s
+        self._values = series.values
+        # _prefix[i] = ∫ ci dt over [times[0], times[i]]
+        segment = self._values[:-1] * np.diff(self._times)
+        self._prefix = np.concatenate(([0.0], np.cumsum(segment)))
+
+    def ci_at(self, t_s: float) -> float:
+        """Carbon intensity at ``t_s``, gCO₂/kWh (previous-value hold)."""
+        idx = int(np.searchsorted(self._times, t_s, side="right")) - 1
+        idx = min(max(idx, 0), len(self._times) - 1)
+        return float(self._values[idx])
+
+    def _integral_to(self, t_s: float) -> float:
+        """∫ ci dt from the first breakpoint to ``t_s`` (flat extension)."""
+        t_first = float(self._times[0])
+        if t_s <= t_first:
+            return float(self._values[0]) * (t_s - t_first)
+        t_last = float(self._times[-1])
+        if t_s >= t_last:
+            return float(self._prefix[-1]) + float(self._values[-1]) * (t_s - t_last)
+        idx = int(np.searchsorted(self._times, t_s, side="right")) - 1
+        return float(self._prefix[idx]) + float(self._values[idx]) * (
+            t_s - float(self._times[idx])
+        )
+
+    def window_mean(self, t0_s: float, t1_s: float) -> float:
+        """Exact mean carbon intensity over ``[t0_s, t1_s]``, gCO₂/kWh."""
+        if t1_s <= t0_s:
+            raise AnalysisError("window end must exceed window start")
+        return (self._integral_to(t1_s) - self._integral_to(t0_s)) / (t1_s - t0_s)
+
+    def greenest_window(
+        self, duration_s: float, t_earliest_s: float, t_latest_s: float
+    ) -> ForecastWindow:
+        """Lowest-mean-CI window of ``duration_s`` starting in the slack range.
+
+        The window mean is piecewise-linear in the start time (the CI is a
+        step function), so the minimum lies where the window's start or end
+        crosses a breakpoint, or at the range edges — only those candidates
+        are evaluated. Ties break to the earliest start, which keeps the
+        scheduler deterministic.
+        """
+        ensure_positive(duration_s, "duration_s")
+        if t_latest_s < t_earliest_s:
+            raise AnalysisError("t_latest_s must not precede t_earliest_s")
+        candidates = {t_earliest_s, t_latest_s}
+        # Only breakpoints inside the slack range (window start crossings)
+        # or inside its duration-shifted image (window end crossings) can
+        # host a minimum — slice them out so a submission costs O(window),
+        # not O(whole forecast), at million-job scale.
+        lo = int(np.searchsorted(self._times, t_earliest_s, side="right"))
+        hi = int(np.searchsorted(self._times, t_latest_s, side="left"))
+        for t in self._times[lo:hi]:
+            candidates.add(float(t))
+        lo = int(np.searchsorted(self._times, t_earliest_s + duration_s, side="right"))
+        hi = int(np.searchsorted(self._times, t_latest_s + duration_s, side="left"))
+        for t in self._times[lo:hi]:
+            candidates.add(float(t) - duration_s)
+        best_start_s = t_earliest_s
+        best_mean = float("inf")
+        for start_s in sorted(candidates):
+            mean = self.window_mean(start_s, start_s + duration_s)
+            if mean < best_mean:
+                best_mean = mean
+                best_start_s = start_s
+        return ForecastWindow(
+            t_start_s=best_start_s,
+            t_end_s=best_start_s + duration_s,
+            mean_ci_g_per_kwh=best_mean,
+        )
 
 
 def evaluate_forecast(forecast: TimeSeries, realised: TimeSeries) -> ForecastSkill:

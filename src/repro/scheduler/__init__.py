@@ -1,16 +1,36 @@
 """Scheduler substrate: discrete-event engine, node pool, EASY backfill."""
 
-from .accounting import PowerTrace, SimulationResult, TraceBuilder
+from .accounting import (
+    PowerTrace,
+    SimulationResult,
+    TraceBuilder,
+    bounded_stretches,
+    trace_emissions_tco2e,
+)
 from .backfill import (
     BackfillScheduler,
     ExecutionEnvironment,
     ResolvedExecution,
     StaticEnvironment,
+    validate_jobs,
 )
 from .demand_response import DemandResponseEnvironment, response_latency_estimate
 from .engine import Event, EventKind, EventQueue
 from .frequency_policy import FrequencyPolicy
 from .partition import NodePool
+from .shapes import JobShape
+
+# Imported last: malleable pulls in repro.grid, which must not re-enter a
+# half-initialised scheduler package.
+from .malleable import (
+    CarbonAwareEnvironment,
+    ElasticRecord,
+    MalleableScheduler,
+    MalleableSimulation,
+    MalleableSimulationResult,
+    RigidMalleableComparison,
+    compare_rigid_malleable,
+)
 
 __all__ = [
     "Event",
@@ -27,4 +47,15 @@ __all__ = [
     "PowerTrace",
     "TraceBuilder",
     "SimulationResult",
+    "trace_emissions_tco2e",
+    "bounded_stretches",
+    "validate_jobs",
+    "JobShape",
+    "CarbonAwareEnvironment",
+    "ElasticRecord",
+    "MalleableScheduler",
+    "MalleableSimulation",
+    "MalleableSimulationResult",
+    "RigidMalleableComparison",
+    "compare_rigid_malleable",
 ]

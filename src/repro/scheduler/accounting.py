@@ -12,11 +12,22 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from typing import TYPE_CHECKING
+
 from ..errors import SchedulingError
-from ..units import JOULES_PER_KWH
+from ..units import JOULES_PER_KWH, emissions_g, g_to_tonnes
 from ..workload.jobs import JobRecord
 
-__all__ = ["PowerTrace", "TraceBuilder", "SimulationResult"]
+if TYPE_CHECKING:  # telemetry.recorder imports this module — keep type-only
+    from ..telemetry.series import TimeSeries
+
+__all__ = [
+    "PowerTrace",
+    "TraceBuilder",
+    "SimulationResult",
+    "trace_emissions_tco2e",
+    "bounded_stretches",
+]
 
 
 @dataclass(frozen=True)
@@ -122,6 +133,24 @@ class TraceBuilder:
             t_end_s=t_end_s,
         )
 
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Serializable snapshot of the accumulated trace points."""
+        return {
+            "t_start_s": self.t_start_s,
+            "times": list(self._times),
+            "power": list(self._power),
+            "nodes": list(self._nodes),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore accumulated trace points from :meth:`state_dict` output."""
+        self.t_start_s = float(state["t_start_s"])
+        self._times = [float(t) for t in state["times"]]
+        self._power = [float(p) for p in state["power"]]
+        self._nodes = [int(n) for n in state["nodes"]]
+
 
 @dataclass(frozen=True)
 class SimulationResult:
@@ -178,3 +207,63 @@ class SimulationResult:
         if busy_nodes == 0:
             return 0.0
         return self.trace.mean_busy_power_w() / busy_nodes
+
+    def emissions_tco2e(self, ci: TimeSeries) -> float:
+        """Scope-2 emissions of the run against a carbon-intensity series."""
+        return trace_emissions_tco2e(self.trace, ci)
+
+    def mean_bounded_stretch(self, tau_s: float = 600.0) -> float:
+        """Mean bounded slowdown of started jobs (1.0 when none ran)."""
+        stretches = bounded_stretches(self.records, tau_s)
+        if len(stretches) == 0:
+            return 1.0
+        return float(np.mean(stretches))
+
+    def p95_bounded_stretch(self, tau_s: float = 600.0) -> float:
+        """95th-percentile bounded slowdown of started jobs (1.0 when none ran)."""
+        stretches = bounded_stretches(self.records, tau_s)
+        if len(stretches) == 0:
+            return 1.0
+        return float(np.quantile(stretches, 0.95))
+
+
+def trace_emissions_tco2e(trace: PowerTrace, ci: TimeSeries) -> float:
+    """Exact scope-2 emissions of a power trace, tonnes CO₂e.
+
+    Both the trace and the carbon-intensity series are previous-value-hold
+    step functions, so the product integrates exactly over the union of
+    their breakpoints — no quadrature error regardless of grid alignment.
+    CI samples must be NaN-free (meter dropouts must be filled upstream).
+    """
+    if np.any(np.isnan(ci.values)):
+        raise SchedulingError(
+            "carbon-intensity series contains NaN samples; fill gaps before "
+            "integrating emissions"
+        )
+    t0, t1 = trace.t_start_s, trace.t_end_s
+    if t1 <= t0:
+        return 0.0
+    interior = np.union1d(trace.times_s, ci.times_s)
+    interior = interior[(interior > t0) & (interior < t1)]
+    edges = np.concatenate(([t0], interior, [t1]))
+    starts = edges[:-1]
+    durations_s = np.diff(edges)
+    power_w = trace.sample(starts)
+    idx = np.searchsorted(ci.times_s, starts, side="right") - 1
+    idx = np.clip(idx, 0, len(ci.times_s) - 1)
+    intensity = ci.values[idx]
+    grams = emissions_g(power_w * durations_s, intensity)
+    return float(g_to_tonnes(np.sum(grams)))
+
+
+def bounded_stretches(records: list[JobRecord], tau_s: float = 600.0) -> np.ndarray:
+    """Bounded slowdown ``max(1, (wait + run) / max(run, tau))`` per record.
+
+    The ``tau_s`` floor (10 min, the conventional choice) stops very short
+    jobs from dominating responsiveness metrics.
+    """
+    if not records:
+        return np.empty(0, dtype=float)
+    waits_s = np.array([r.wait_s for r in records], dtype=float)
+    runs_s = np.array([r.runtime_s for r in records], dtype=float)
+    return np.maximum(1.0, (waits_s + runs_s) / np.maximum(runs_s, tau_s))

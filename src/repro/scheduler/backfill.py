@@ -37,7 +37,55 @@ __all__ = [
     "ExecutionEnvironment",
     "StaticEnvironment",
     "BackfillScheduler",
+    "validate_jobs",
 ]
+
+
+def validate_jobs(
+    jobs: list[Job],
+    available_nodes: int,
+    offline_nodes: int = 0,
+    *,
+    elastic: bool = False,
+) -> None:
+    """Admission validation: reject any job this facility can never run.
+
+    :class:`~repro.workload.jobs.Job` construction already rejects
+    non-positive node counts, non-positive walltimes and inverted elastic
+    shapes; these are re-checked here defensively, together with the
+    facility-relative bound, so a million-job trace fails loudly at
+    admission — naming the offending job and the allowed range — rather
+    than deadlocking the queue mid-simulation. With ``elastic=True`` an
+    elastic job is admissible if its *minimum* shape fits (a malleable
+    scheduler can shrink it in); rigid admission requires the preferred
+    ``n_nodes`` to fit.
+    """
+    if available_nodes <= 0:
+        raise SchedulingError(
+            f"facility has no schedulable nodes ({offline_nodes} offline)"
+        )
+    for job in jobs:
+        if job.n_nodes <= 0:
+            raise SchedulingError(
+                f"job {job.job_id}: n_nodes must be positive, got {job.n_nodes}"
+            )
+        if job.reference_runtime_s <= 0:
+            raise SchedulingError(
+                f"job {job.job_id}: reference_runtime_s must be positive, "
+                f"got {job.reference_runtime_s}"
+            )
+        if job.is_elastic and job.min_nodes > job.max_nodes:
+            raise SchedulingError(
+                f"job {job.job_id}: min_nodes {job.min_nodes} exceeds "
+                f"max_nodes {job.max_nodes}"
+            )
+        floor = job.min_nodes if (elastic and job.is_elastic) else job.n_nodes
+        if floor > available_nodes:
+            raise SchedulingError(
+                f"job {job.job_id} requests {floor} nodes; "
+                f"facility has {available_nodes} available "
+                f"({offline_nodes} offline; allowed range 1..{available_nodes})"
+            )
 
 
 @dataclass(frozen=True)
@@ -149,13 +197,7 @@ class BackfillScheduler:
         if t_end_s <= t_start_s:
             raise SchedulingError("t_end_s must exceed t_start_s")
         available = self.n_nodes - self.offline_nodes
-        for job in jobs:
-            if job.n_nodes > available:
-                raise SchedulingError(
-                    f"job {job.job_id} requests {job.n_nodes} nodes; "
-                    f"facility has {available} available "
-                    f"({self.offline_nodes} offline)"
-                )
+        validate_jobs(jobs, available, self.offline_nodes)
 
         pool = NodePool(available)
         queue = EventQueue()

@@ -1,0 +1,215 @@
+"""``repro sched`` — rigid vs carbon-aware malleable scheduling comparison.
+
+Generates a seeded synthetic trace (workload stream + grid CI scenario),
+runs it through rigid EASY backfill and the carbon-aware malleable
+scheduler, and prints the side-by-side outcome: emissions, energy, bounded
+stretch and the reshape/shift counters. Everything is seeded and free of
+wall-clock reads, so a rerun with the same arguments is *byte-identical* —
+the CI pipeline diffs two invocations to enforce exactly that.
+
+``--check`` turns the paper-level expectations into exit-code gates:
+malleable emissions strictly below rigid, and the job-conservation
+identity (jobs in == completed + running + queued).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from ..grid.carbon_intensity import SCENARIOS, CarbonIntensityModel
+from ..node import build_node_model
+from ..units import SECONDS_PER_DAY
+from ..workload.generator import JobStreamConfig, JobStreamGenerator
+from ..workload.mix import archer2_mix
+from .backfill import StaticEnvironment
+from .malleable import compare_rigid_malleable
+
+__all__ = ["build_sched_parser", "sched_main"]
+
+
+def build_sched_parser(prog: str = "repro sched") -> argparse.ArgumentParser:
+    """The ``repro sched`` argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description=(
+            "Compare rigid EASY backfill against carbon-aware malleable "
+            "scheduling on a seeded synthetic trace."
+        ),
+    )
+    parser.add_argument("--nodes", type=int, default=512, help="facility size")
+    parser.add_argument(
+        "--days", type=float, default=7.0, help="simulated span in days"
+    )
+    parser.add_argument("--seed", type=int, default=42, help="trace + scheduler seed")
+    parser.add_argument(
+        "--offered-load",
+        type=float,
+        default=0.95,
+        help="offered load (keep < 1 so the queue stays bounded)",
+    )
+    parser.add_argument(
+        "--malleable-fraction",
+        type=float,
+        default=0.5,
+        help="fraction of jobs declaring an elastic shape",
+    )
+    parser.add_argument(
+        "--slack-hours",
+        type=float,
+        default=2.0,
+        help="mean start slack of malleable jobs, hours",
+    )
+    parser.add_argument(
+        "--tick-minutes",
+        type=float,
+        default=30.0,
+        help="carbon re-evaluation cadence, minutes",
+    )
+    parser.add_argument(
+        "--scenario",
+        choices=sorted(SCENARIOS),
+        default="balanced",
+        help="grid CI scenario (default crosses the 100 g/kWh boundary daily)",
+    )
+    parser.add_argument(
+        "--low",
+        type=float,
+        default=30.0,
+        help="low CI regime boundary, gCO2/kWh",
+    )
+    parser.add_argument(
+        "--high",
+        type=float,
+        default=100.0,
+        help="high CI regime boundary, gCO2/kWh",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero unless malleable beats rigid emissions and the "
+        "job-conservation identity holds",
+    )
+    return parser
+
+
+def _format_row(label: str, rigid: str, malleable: str) -> str:
+    return f"{label:<28}{rigid:>16}{malleable:>16}"
+
+
+def sched_main(argv: list[str], prog: str = "repro sched") -> int:
+    """``repro sched`` entry point; returns a process exit code."""
+    args = build_sched_parser(prog).parse_args(argv)
+    t_end_s = args.days * SECONDS_PER_DAY
+
+    rng = np.random.default_rng(args.seed)
+    config = JobStreamConfig(
+        n_facility_nodes=args.nodes,
+        offered_load=args.offered_load,
+        mean_runtime_s=4.0 * 3600.0,
+        max_job_nodes=max(1, args.nodes // 4),
+        malleable_fraction=args.malleable_fraction,
+        shift_slack_mean_s=args.slack_hours * 3600.0,
+    )
+    generator = JobStreamGenerator(archer2_mix(), config, rng)
+    jobs = generator.generate_until(t_end_s * 0.9)
+
+    ci_model = CarbonIntensityModel.from_scenario(args.scenario)
+    ci = ci_model.series(0.0, t_end_s + SECONDS_PER_DAY, 1800.0, rng)
+
+    environment = StaticEnvironment(node_model=build_node_model())
+    comparison = compare_rigid_malleable(
+        jobs,
+        t_end_s,
+        environment,
+        ci,
+        n_nodes=args.nodes,
+        carbon_tick_interval_s=args.tick_minutes * 60.0,
+        low_g_per_kwh=args.low,
+        high_g_per_kwh=args.high,
+        seed=args.seed,
+    )
+    rigid, malleable = comparison.rigid, comparison.malleable
+
+    print(
+        f"trace: {len(jobs)} jobs over {args.days:g} days on {args.nodes} "
+        f"nodes, scenario '{args.scenario}' (seed {args.seed})"
+    )
+    print()
+    print(_format_row("", "rigid", "malleable"))
+    print(_format_row("-" * 28, "-" * 14, "-" * 14))
+    print(
+        _format_row(
+            "emissions [tCO2e]",
+            f"{comparison.rigid_tco2e:.3f}",
+            f"{comparison.malleable_tco2e:.3f}",
+        )
+    )
+    print(
+        _format_row(
+            "energy [kWh]",
+            f"{rigid.total_energy_kwh():.0f}",
+            f"{malleable.total_energy_kwh():.0f}",
+        )
+    )
+    print(
+        _format_row(
+            "mean utilisation",
+            f"{rigid.mean_utilisation():.3f}",
+            f"{malleable.mean_utilisation():.3f}",
+        )
+    )
+    print(
+        _format_row(
+            "mean bounded stretch",
+            f"{rigid.mean_bounded_stretch():.3f}",
+            f"{malleable.mean_bounded_stretch():.3f}",
+        )
+    )
+    print(
+        _format_row(
+            "p95 bounded stretch",
+            f"{rigid.p95_bounded_stretch():.3f}",
+            f"{malleable.p95_bounded_stretch():.3f}",
+        )
+    )
+    print(
+        _format_row(
+            "placed jobs",
+            f"{len(rigid.records)}",
+            f"{len(malleable.records)}",
+        )
+    )
+    print()
+    print(
+        f"malleable actions: {malleable.n_shifted} shifted, "
+        f"{malleable.n_shrinks} shrinks, {malleable.n_grows} grows"
+    )
+    print(
+        f"savings: {comparison.emissions_saving_tco2e:.3f} tCO2e, "
+        f"{comparison.energy_saving_kwh:.0f} kWh "
+        f"(stretch penalty {comparison.stretch_penalty:+.3f})"
+    )
+
+    if args.check:
+        failures = []
+        if not comparison.malleable_tco2e < comparison.rigid_tco2e:
+            failures.append(
+                "malleable emissions not strictly below rigid "
+                f"({comparison.malleable_tco2e:.6f} vs {comparison.rigid_tco2e:.6f})"
+            )
+        if not malleable.reconciles():
+            failures.append(
+                "job conservation violated: "
+                f"{malleable.n_jobs} in != {malleable.n_completed} completed "
+                f"+ {malleable.n_running_at_end} running "
+                f"+ {malleable.n_queued_at_end} queued"
+            )
+        for failure in failures:
+            print(f"CHECK FAILED: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print("checks passed")
+    return 0

@@ -24,6 +24,8 @@ class EventKind(enum.Enum):
 
     JOB_SUBMIT = "job_submit"
     JOB_END = "job_end"
+    JOB_RELEASE = "job_release"
+    CARBON_TICK = "carbon_tick"
     SIM_END = "sim_end"
     MARKER = "marker"
 
@@ -81,3 +83,39 @@ class EventQueue:
 
     def __bool__(self) -> bool:
         return bool(self._heap)
+
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Serializable snapshot of the pending events.
+
+        Payloads are stored as-is, so checkpointable simulations must only
+        push JSON-representable payloads (ids and tuples of primitives, not
+        rich objects). Entries are emitted in (time, push-order) order, which
+        is itself a valid binary heap, so restore needs no re-heapify.
+        """
+        entries = sorted(
+            ((t, c, e.kind.value, e.payload) for t, c, e in self._heap),
+            key=lambda x: (x[0], x[1]),
+        )
+        return {
+            "entries": [list(entry) for entry in entries],
+            "counter": self._counter,
+            "last_popped_s": self._last_popped_s,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore pending events from :meth:`state_dict` output.
+
+        List payloads are normalised back to tuples (JSON round-trips tuples
+        as lists), so ``(job_id, generation)`` payloads compare equal across
+        a checkpoint boundary.
+        """
+        heap: list[tuple[float, int, Event]] = []
+        for time_s, counter, kind, payload in state["entries"]:
+            if isinstance(payload, list):
+                payload = tuple(payload)
+            heap.append((time_s, counter, Event(time_s, EventKind(kind), payload)))
+        self._heap = heap
+        self._counter = int(state["counter"])
+        self._last_popped_s = float(state["last_popped_s"])

@@ -92,3 +92,33 @@ class FrequencyPolicy:
         if self.module_resets(job.app, cpu, mode):
             return self.reset_setting
         return self.default_setting
+
+    def setting_for_ci(
+        self,
+        job: Job,
+        cpu: CpuModel,
+        mode: DeterminismMode,
+        ci_g_per_kwh: float,
+        low_g_per_kwh: float = 30.0,
+        high_g_per_kwh: float = 100.0,
+    ) -> FrequencySetting:
+        """Carbon-aware frequency resolution against the current grid CI.
+
+        User overrides always win (the service honoured them throughout).
+        Otherwise the carbon regime decides: above ``high_g_per_kwh``
+        (scope-2 dominated) jobs drop to the 2.0 GHz energy-saving point;
+        below ``low_g_per_kwh`` (scope-3 dominated — the grid is nearly
+        clean, so embodied carbon argues for finishing work fast) jobs run
+        at the reset setting. Between the boundaries — both inclusive,
+        mirroring ``repro.core.regimes.classify_ci`` — the static rules
+        apply unchanged. Thresholds are plain floats (defaults are the
+        paper's 30/100 gCO₂/kWh boundaries) so this module stays free of a
+        ``repro.core`` import.
+        """
+        if self.respect_user_override and job.frequency_override is not None:
+            return job.frequency_override
+        if ci_g_per_kwh > high_g_per_kwh:
+            return FrequencySetting.GHZ_2_0
+        if ci_g_per_kwh < low_g_per_kwh:
+            return self.reset_setting
+        return self.setting_for(job, cpu, mode)

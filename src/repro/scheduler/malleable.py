@@ -1,0 +1,799 @@
+"""Carbon-aware malleable scheduling: grow/shrink jobs against the grid.
+
+The paper's §2 regime analysis says a facility on today's UK grid sits in
+the scope-2-dominated regime (CI > 100 gCO₂/kWh) for part of every day and
+near the balanced band the rest of it. A scheduler that can *reshape* work
+in time and space exploits that structure three ways:
+
+1. **Temporal shifting** — jobs declaring start slack are released into the
+   greenest forecast window inside their slack (``ForecastIndex`` queries).
+2. **Shrink on high carbon** — elastic jobs shrink to their minimum shape
+   while CI > the high boundary, shedding power *and* node-seconds (the
+   scaling overheads mean narrow allocations are more node-second
+   efficient), then grow back when the grid cleans up.
+3. **Frequency co-optimisation** — jobs starting in a high-CI period run at
+   the 2.0 GHz energy-saving point; in a near-clean grid they run fast to
+   retire embodied carbon sooner (:meth:`FrequencyPolicy.setting_for_ci`).
+
+Execution uses a progress-based work model: a job is a unit of work
+completed at rate ``1 / (T_preferred · stretch(alloc))``, so reallocations
+mid-flight re-time the completion exactly. Every reallocation bumps a
+generation counter carried in the end-event payload, which invalidates
+stale end events — the standard DES trick that keeps replay (and
+checkpoint/resume) bit-identical.
+
+All simulation state lives in JSON-able ``state_dict`` snapshots: the event
+queue (payloads are ids and tuples, never objects), the node pool, the
+trace builder, run-state vectors and the RNG bit-generator state. Killing a
+simulation mid-trace, reloading the snapshot and running to completion
+produces byte-identical results to an uninterrupted run.
+
+The regime boundaries default to the paper's 30/100 gCO₂/kWh (the same
+values as ``repro.core.regimes``; kept as literals here so the scheduler
+substrate does not import the core layer, which imports it back).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..errors import SchedulingError
+from ..grid.forecast import ForecastIndex
+from ..telemetry.series import TimeSeries
+from ..units import JOULES_PER_KWH
+from ..workload.jobs import Job
+from .accounting import PowerTrace, SimulationResult, TraceBuilder, trace_emissions_tco2e
+from .backfill import BackfillScheduler, ResolvedExecution, StaticEnvironment, validate_jobs
+from .engine import Event, EventKind, EventQueue
+from .partition import NodePool
+from .shapes import JobShape
+
+__all__ = [
+    "CarbonAwareEnvironment",
+    "ElasticRecord",
+    "MalleableSimulationResult",
+    "MalleableSimulation",
+    "MalleableScheduler",
+    "RigidMalleableComparison",
+    "compare_rigid_malleable",
+]
+
+PAPER_LOW_CI_G_PER_KWH = 30.0
+PAPER_HIGH_CI_G_PER_KWH = 100.0
+
+
+@dataclass
+class CarbonAwareEnvironment:
+    """Resolves execution with the frequency chosen against the current CI.
+
+    Wraps a :class:`StaticEnvironment` the same way demand response does:
+    the carbon-aware setting is forced through ``frequency_override`` so the
+    inner environment's per-(app, setting) memoisation still applies.
+    """
+
+    inner: StaticEnvironment
+    low_g_per_kwh: float = PAPER_LOW_CI_G_PER_KWH
+    high_g_per_kwh: float = PAPER_HIGH_CI_G_PER_KWH
+
+    def resolve_at_ci(
+        self, job: Job, time_s: float, ci_g_per_kwh: float
+    ) -> ResolvedExecution:
+        """Execution parameters for ``job`` starting now at the given CI."""
+        setting = self.inner.policy.setting_for_ci(
+            job,
+            self.inner.cpu,
+            self.inner.mode,
+            ci_g_per_kwh,
+            self.low_g_per_kwh,
+            self.high_g_per_kwh,
+        )
+        return self.inner.resolve(replace(job, frequency_override=setting), time_s)
+
+    def resolve(self, job: Job, time_s: float) -> ResolvedExecution:
+        """Plain (carbon-blind) resolution — the rigid comparison path."""
+        return self.inner.resolve(job, time_s)
+
+
+@dataclass(frozen=True)
+class ElasticRecord:
+    """A placed job's realised schedule under malleable execution.
+
+    Unlike :class:`~repro.workload.jobs.JobRecord`, the allocation varies
+    over the job's life, so integrated ``node_seconds`` is recorded
+    directly rather than derived from a fixed width.
+    """
+
+    job_id: int
+    submit_time_s: float
+    start_time_s: float
+    end_time_s: float
+    setting: str
+    effective_ghz: float
+    node_seconds: float
+    energy_j: float
+    truncated: bool
+
+    @property
+    def runtime_s(self) -> float:
+        """Realised wall time, seconds."""
+        return self.end_time_s - self.start_time_s
+
+    @property
+    def wait_s(self) -> float:
+        """Queue wait, seconds."""
+        return self.start_time_s - self.submit_time_s
+
+
+def _record_to_list(record: ElasticRecord) -> list:
+    return [
+        record.job_id,
+        record.submit_time_s,
+        record.start_time_s,
+        record.end_time_s,
+        record.setting,
+        record.effective_ghz,
+        record.node_seconds,
+        record.energy_j,
+        record.truncated,
+    ]
+
+
+def _record_from_list(raw: list) -> ElasticRecord:
+    return ElasticRecord(
+        job_id=int(raw[0]),
+        submit_time_s=float(raw[1]),
+        start_time_s=float(raw[2]),
+        end_time_s=float(raw[3]),
+        setting=str(raw[4]),
+        effective_ghz=float(raw[5]),
+        node_seconds=float(raw[6]),
+        energy_j=float(raw[7]),
+        truncated=bool(raw[8]),
+    )
+
+
+@dataclass
+class _ElasticRun:
+    """Book-keeping for one in-flight (possibly reshaped) job."""
+
+    job_id: int
+    alloc: int
+    progress: float
+    last_update_s: float
+    generation: int
+    start_s: float
+    preferred_runtime_s: float
+    node_power_w: float
+    setting: str
+    effective_ghz: float
+    node_seconds: float
+    priority: float
+
+
+def _run_to_list(run: _ElasticRun) -> list:
+    return [
+        run.job_id,
+        run.alloc,
+        run.progress,
+        run.last_update_s,
+        run.generation,
+        run.start_s,
+        run.preferred_runtime_s,
+        run.node_power_w,
+        run.setting,
+        run.effective_ghz,
+        run.node_seconds,
+        run.priority,
+    ]
+
+
+def _run_from_list(raw: list) -> _ElasticRun:
+    return _ElasticRun(
+        job_id=int(raw[0]),
+        alloc=int(raw[1]),
+        progress=float(raw[2]),
+        last_update_s=float(raw[3]),
+        generation=int(raw[4]),
+        start_s=float(raw[5]),
+        preferred_runtime_s=float(raw[6]),
+        node_power_w=float(raw[7]),
+        setting=str(raw[8]),
+        effective_ghz=float(raw[9]),
+        node_seconds=float(raw[10]),
+        priority=float(raw[11]),
+    )
+
+
+@dataclass(frozen=True)
+class MalleableSimulationResult:
+    """Everything a malleable run produced, plus reshape/shift counters."""
+
+    n_nodes: int
+    t_start_s: float
+    t_end_s: float
+    records: list[ElasticRecord]
+    n_jobs: int
+    n_completed: int
+    n_running_at_end: int
+    n_queued_at_end: int
+    n_shifted: int
+    n_shrinks: int
+    n_grows: int
+    trace: PowerTrace
+
+    def reconciles(self) -> bool:
+        """Job-conservation identity: in == completed + running + queued."""
+        return self.n_jobs == (
+            self.n_completed + self.n_running_at_end + self.n_queued_at_end
+        )
+
+    def total_energy_kwh(self) -> float:
+        """Busy-node energy integrated over the span, kWh."""
+        return self.trace.energy_j() / JOULES_PER_KWH
+
+    def emissions_tco2e(self, ci: TimeSeries) -> float:
+        """Scope-2 emissions of the run against a carbon-intensity series."""
+        return trace_emissions_tco2e(self.trace, ci)
+
+    def mean_utilisation(self) -> float:
+        """Time-weighted mean node utilisation over the span."""
+        return self.trace.mean_busy_nodes() / self.n_nodes
+
+    def _stretches(self, tau_s: float) -> np.ndarray:
+        if not self.records:
+            return np.empty(0, dtype=float)
+        waits_s = np.array([r.wait_s for r in self.records], dtype=float)
+        runs_s = np.array([r.runtime_s for r in self.records], dtype=float)
+        return np.maximum(1.0, (waits_s + runs_s) / np.maximum(runs_s, tau_s))
+
+    def mean_bounded_stretch(self, tau_s: float = 600.0) -> float:
+        """Mean bounded slowdown of placed jobs (1.0 when none ran)."""
+        stretches = self._stretches(tau_s)
+        if len(stretches) == 0:
+            return 1.0
+        return float(np.mean(stretches))
+
+    def p95_bounded_stretch(self, tau_s: float = 600.0) -> float:
+        """95th-percentile bounded slowdown of placed jobs (1.0 when none ran)."""
+        stretches = self._stretches(tau_s)
+        if len(stretches) == 0:
+            return 1.0
+        return float(np.quantile(stretches, 0.95))
+
+
+class MalleableSimulation:
+    """One checkpointable malleable-scheduling run over a fixed job set.
+
+    The job list is *not* part of the checkpoint (it can be regenerated
+    from its seed); everything else — queue, pool, waiting order, run
+    states, records, trace, counters, RNG — round-trips through
+    :meth:`state_dict` / :meth:`load_state_dict` bit-identically.
+    """
+
+    def __init__(
+        self,
+        scheduler: "MalleableScheduler",
+        jobs: list[Job],
+        t_end_s: float,
+        t_start_s: float = 0.0,
+    ) -> None:
+        if t_end_s <= t_start_s:
+            raise SchedulingError("t_end_s must exceed t_start_s")
+        self.scheduler = scheduler
+        self.t_start_s = t_start_s
+        self.t_end_s = t_end_s
+        available = scheduler.n_nodes - scheduler.offline_nodes
+        validate_jobs(jobs, available, scheduler.offline_nodes, elastic=True)
+        self._jobs = {job.job_id: job for job in jobs}
+        if len(self._jobs) != len(jobs):
+            raise SchedulingError("job ids must be unique")
+        self._shapes = {job.job_id: JobShape.from_job(job) for job in jobs}
+
+        self._pool = NodePool(available)
+        self._queue = EventQueue()
+        self._waiting: deque[int] = deque()
+        self._running: dict[int, _ElasticRun] = {}
+        self._records: list[ElasticRecord] = []
+        self._trace = TraceBuilder(t_start_s)
+        self._rng = np.random.default_rng(scheduler.seed)
+        self._busy_power_w = 0.0
+        self._done = False
+
+        self.n_jobs = 0
+        self._n_submits_remaining = 0
+        self._n_pending_release = 0
+        self._n_completed = 0
+        self.n_shifted = 0
+        self.n_shrinks = 0
+        self.n_grows = 0
+
+        for job in sorted(jobs, key=lambda j: (j.submit_time_s, j.job_id)):
+            if job.submit_time_s < t_end_s:
+                self._queue.push(
+                    Event(job.submit_time_s, EventKind.JOB_SUBMIT, job.job_id)
+                )
+                self.n_jobs += 1
+        self._n_submits_remaining = self.n_jobs
+        self._queue.push(Event(t_end_s, EventKind.SIM_END))
+        first_tick_s = t_start_s + scheduler.carbon_tick_interval_s
+        if first_tick_s < t_end_s:
+            self._queue.push(Event(first_tick_s, EventKind.CARBON_TICK))
+        self._record_trace(t_start_s)
+
+    # -- event handling ------------------------------------------------------
+
+    def _record_trace(self, time_s: float) -> None:
+        self._trace.append(time_s, self._busy_power_w, self._pool.busy)
+
+    def _advance(self, run: _ElasticRun, now_s: float) -> None:
+        """Bring a run's progress and node-second account up to ``now_s``."""
+        dt_s = now_s - run.last_update_s
+        if dt_s > 0:
+            shape = self._shapes[run.job_id]
+            rate = shape.rate_per_s(run.alloc, run.preferred_runtime_s)
+            run.progress = min(1.0, run.progress + dt_s * rate)
+            run.node_seconds += dt_s * run.alloc
+            run.last_update_s = now_s
+
+    def _end_estimate_s(self, run: _ElasticRun) -> float:
+        shape = self._shapes[run.job_id]
+        rate = shape.rate_per_s(run.alloc, run.preferred_runtime_s)
+        remaining = max(0.0, 1.0 - run.progress)
+        return run.last_update_s + remaining / rate
+
+    def _choose_alloc(self, shape: JobShape, ci_g_per_kwh: float) -> int:
+        """Target allocation under the current carbon regime.
+
+        High-carbon periods get the narrowest legal shape; otherwise the
+        preferred one, capped at the pool so an oversize preference still
+        admits (validation guarantees the minimum fits).
+        """
+        if ci_g_per_kwh > self.scheduler.high_g_per_kwh:
+            target = shape.min_nodes
+        else:
+            target = shape.preferred_nodes
+        return max(shape.min_nodes, min(target, self._pool.n_nodes))
+
+    def _start_job(self, job: Job, alloc: int, now_s: float, ci_g_per_kwh: float) -> None:
+        resolved = self.scheduler.environment.resolve_at_ci(job, now_s, ci_g_per_kwh)
+        shape = self._shapes[job.job_id]
+        self._pool.allocate(alloc)
+        self._busy_power_w += resolved.node_power_w * alloc
+        run = _ElasticRun(
+            job_id=job.job_id,
+            alloc=alloc,
+            progress=0.0,
+            last_update_s=now_s,
+            generation=0,
+            start_s=now_s,
+            preferred_runtime_s=resolved.runtime_s,
+            node_power_w=resolved.node_power_w,
+            setting=resolved.setting.value,
+            effective_ghz=resolved.effective_ghz,
+            node_seconds=0.0,
+            priority=float(self._rng.random()),
+        )
+        self._running[job.job_id] = run
+        self._record_trace(now_s)
+        end_s = now_s + resolved.runtime_s * shape.stretch(alloc)
+        if end_s <= self.t_end_s:
+            self._queue.push(Event(end_s, EventKind.JOB_END, (job.job_id, 0)))
+
+    def _reallocate(self, run: _ElasticRun, new_alloc: int, now_s: float) -> None:
+        self._advance(run, now_s)
+        delta = new_alloc - run.alloc
+        if delta > 0:
+            self._pool.allocate(delta)
+            self.n_grows += 1
+        else:
+            self._pool.release(-delta)
+            self.n_shrinks += 1
+        self._busy_power_w += run.node_power_w * delta
+        if abs(self._busy_power_w) < 1e-6:
+            self._busy_power_w = 0.0
+        run.alloc = new_alloc
+        run.generation += 1
+        self._record_trace(now_s)
+        end_s = self._end_estimate_s(run)
+        if end_s <= self.t_end_s:
+            self._queue.push(
+                Event(end_s, EventKind.JOB_END, (run.job_id, run.generation))
+            )
+
+    def _finish_run(self, run: _ElasticRun, end_s: float, truncated: bool) -> None:
+        self._advance(run, end_s)
+        job = self._jobs[run.job_id]
+        self._records.append(
+            ElasticRecord(
+                job_id=run.job_id,
+                submit_time_s=job.submit_time_s,
+                start_time_s=run.start_s,
+                end_time_s=end_s,
+                setting=run.setting,
+                effective_ghz=run.effective_ghz,
+                node_seconds=run.node_seconds,
+                energy_j=run.node_power_w * run.node_seconds,
+                truncated=truncated,
+            )
+        )
+
+    def _on_submit(self, job: Job, now_s: float) -> None:
+        self._n_submits_remaining -= 1
+        index = self.scheduler.forecast
+        latest_s = min(now_s + job.shift_slack_s, self.t_end_s)
+        if job.shift_slack_s > 0 and latest_s > now_s:
+            duration_s = job.reference_runtime_s
+            window = index.greenest_window(duration_s, now_s, latest_s)
+            now_mean = index.window_mean(now_s, now_s + duration_s)
+            if window.t_start_s > now_s and window.mean_ci_g_per_kwh < now_mean:
+                self._queue.push(
+                    Event(window.t_start_s, EventKind.JOB_RELEASE, job.job_id)
+                )
+                self._n_pending_release += 1
+                self.n_shifted += 1
+                return
+        self._waiting.append(job.job_id)
+
+    def _on_end(self, payload: tuple, now_s: float) -> None:
+        job_id, generation = payload
+        run = self._running.get(job_id)
+        if run is None or run.generation != generation:
+            return  # stale end event from before a reallocation
+        self._finish_run(run, now_s, truncated=False)
+        del self._running[job_id]
+        self._pool.release(run.alloc)
+        self._busy_power_w -= run.node_power_w * run.alloc
+        if abs(self._busy_power_w) < 1e-6:
+            self._busy_power_w = 0.0
+        self._record_trace(now_s)
+        self._n_completed += 1
+
+    def _reshape_order(self) -> list[_ElasticRun]:
+        """Deterministic reshape ordering: oldest first, seeded tie-break."""
+        return sorted(
+            self._running.values(),
+            key=lambda r: (r.start_s, r.priority, r.job_id),
+        )
+
+    def _on_tick(self, now_s: float) -> None:
+        sched = self.scheduler
+        ci = sched.forecast.ci_at(now_s)
+        if ci > sched.high_g_per_kwh:
+            for run in self._reshape_order():
+                shape = self._shapes[run.job_id]
+                if shape.is_elastic and run.alloc > shape.min_nodes:
+                    self._reallocate(run, shape.min_nodes, now_s)
+        else:
+            for run in self._reshape_order():
+                shape = self._shapes[run.job_id]
+                if not shape.is_elastic or run.alloc >= shape.preferred_nodes:
+                    continue
+                target = min(shape.preferred_nodes, run.alloc + self._pool.free)
+                if target > run.alloc:
+                    self._reallocate(run, target, now_s)
+        next_tick_s = now_s + sched.carbon_tick_interval_s
+        work_left = (
+            self._running
+            or self._waiting
+            or self._n_pending_release > 0
+            or self._n_submits_remaining > 0
+        )
+        if work_left and next_tick_s < self.t_end_s:
+            self._queue.push(Event(next_tick_s, EventKind.CARBON_TICK))
+
+    def _reservation(self, need: int, now_s: float) -> tuple[float, int]:
+        """EASY reservation under predicted (progress-model) end times."""
+        if self._pool.fits(need):
+            return now_s, self._pool.free - need
+        available = self._pool.free
+        runs = sorted(
+            self._running.values(),
+            key=lambda r: (self._end_estimate_s(r), r.job_id),
+        )
+        for run in runs:
+            available += run.alloc
+            if available >= need:
+                return self._end_estimate_s(run), available - need
+        raise SchedulingError(
+            f"job needing {need} nodes can never be scheduled on "
+            f"{self._pool.n_nodes} nodes"
+        )
+
+    def _schedule_pass(self, now_s: float) -> None:
+        ci = self.scheduler.forecast.ci_at(now_s)
+        # FCFS phase with moldable squeeze: the head starts at its regime
+        # target, narrowed toward its minimum shape if that is what fits.
+        while self._waiting:
+            shape = self._shapes[self._waiting[0]]
+            alloc = self._choose_alloc(shape, ci)
+            if not self._pool.fits(alloc):
+                alloc = min(alloc, self._pool.free)
+                if alloc < shape.min_nodes:
+                    break
+            job = self._jobs[self._waiting.popleft()]
+            self._start_job(job, alloc, now_s, ci)
+        if not self._waiting:
+            return
+        # EASY backfill phase: reserve for the head, fill around it.
+        head_shape = self._shapes[self._waiting[0]]
+        head_need = self._choose_alloc(head_shape, ci)
+        shadow_s, spare = self._reservation(head_need, now_s)
+        started: set[int] = set()
+        depth = 0
+        items = list(self._waiting)
+        for job_id in items[1:]:
+            if depth >= self.scheduler.backfill_depth:
+                break
+            depth += 1
+            shape = self._shapes[job_id]
+            alloc = self._choose_alloc(shape, ci)
+            if not self._pool.fits(alloc):
+                alloc = min(alloc, self._pool.free)
+                if alloc < shape.min_nodes:
+                    continue
+            job = self._jobs[job_id]
+            resolved = self.scheduler.environment.resolve_at_ci(job, now_s, ci)
+            runtime_s = resolved.runtime_s * shape.stretch(alloc)
+            ends_before_shadow = now_s + runtime_s <= shadow_s
+            within_spare = alloc <= spare
+            if ends_before_shadow or within_spare:
+                self._start_job(job, alloc, now_s, ci)
+                if within_spare and not ends_before_shadow:
+                    spare -= alloc
+                started.add(job_id)
+        if started:
+            remaining = [j for j in items if j not in started]
+            self._waiting.clear()
+            self._waiting.extend(remaining)
+
+    def _finalize(self) -> None:
+        for run in sorted(self._running.values(), key=lambda r: r.job_id):
+            self._finish_run(run, self.t_end_s, truncated=True)
+        self._done = True
+
+    # -- driving -------------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        """Whether the simulation has reached its end event."""
+        return self._done
+
+    def step(self) -> bool:
+        """Process one event; returns False once the simulation has ended."""
+        if self._done:
+            return False
+        event = self._queue.pop()
+        now_s = event.time_s
+        if event.kind is EventKind.SIM_END:
+            self._finalize()
+            return False
+        if event.kind is EventKind.JOB_SUBMIT:
+            self._on_submit(self._jobs[event.payload], now_s)
+        elif event.kind is EventKind.JOB_RELEASE:
+            self._n_pending_release -= 1
+            self._waiting.append(event.payload)
+        elif event.kind is EventKind.JOB_END:
+            self._on_end(event.payload, now_s)
+        elif event.kind is EventKind.CARBON_TICK:
+            self._on_tick(now_s)
+        self._schedule_pass(now_s)
+        return True
+
+    def run_to_completion(self) -> MalleableSimulationResult:
+        """Drive the event loop to the end and assemble the result."""
+        while self.step():
+            pass
+        return self.result()
+
+    def result(self) -> MalleableSimulationResult:
+        """The finished run's result (only valid once ``done``)."""
+        if not self._done:
+            raise SchedulingError("simulation has not finished")
+        return MalleableSimulationResult(
+            n_nodes=self.scheduler.n_nodes,
+            t_start_s=self.t_start_s,
+            t_end_s=self.t_end_s,
+            records=list(self._records),
+            n_jobs=self.n_jobs,
+            n_completed=self._n_completed,
+            n_running_at_end=len(self._running),
+            n_queued_at_end=len(self._waiting) + self._n_pending_release,
+            n_shifted=self.n_shifted,
+            n_shrinks=self.n_shrinks,
+            n_grows=self.n_grows,
+            trace=self._trace.build(self.t_end_s),
+        )
+
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Full JSON-able snapshot (jobs excluded — re-supply them on load)."""
+        running = [
+            _run_to_list(self._running[job_id])
+            for job_id in sorted(self._running)
+        ]
+        return {
+            "queue": self._queue.state_dict(),
+            "pool": self._pool.state_dict(),
+            "trace": self._trace.state_dict(),
+            "waiting": list(self._waiting),
+            "running": running,
+            "records": [_record_to_list(r) for r in self._records],
+            "rng": self._rng.bit_generator.state,
+            "busy_power_w": self._busy_power_w,
+            "done": self._done,
+            "n_jobs": self.n_jobs,
+            "n_submits_remaining": self._n_submits_remaining,
+            "n_pending_release": self._n_pending_release,
+            "n_completed": self._n_completed,
+            "n_shifted": self.n_shifted,
+            "n_shrinks": self.n_shrinks,
+            "n_grows": self.n_grows,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot over the same job set."""
+        self._queue.load_state_dict(state["queue"])
+        self._pool.load_state_dict(state["pool"])
+        self._trace.load_state_dict(state["trace"])
+        self._waiting = deque(int(j) for j in state["waiting"])
+        self._running = {
+            run.job_id: run
+            for run in (_run_from_list(raw) for raw in state["running"])
+        }
+        self._records = [_record_from_list(raw) for raw in state["records"]]
+        self._rng.bit_generator.state = state["rng"]
+        self._busy_power_w = float(state["busy_power_w"])
+        self._done = bool(state["done"])
+        self.n_jobs = int(state["n_jobs"])
+        self._n_submits_remaining = int(state["n_submits_remaining"])
+        self._n_pending_release = int(state["n_pending_release"])
+        self._n_completed = int(state["n_completed"])
+        self.n_shifted = int(state["n_shifted"])
+        self.n_shrinks = int(state["n_shrinks"])
+        self.n_grows = int(state["n_grows"])
+
+
+class MalleableScheduler:
+    """Carbon-aware malleable scheduler over a carbon-intensity signal.
+
+    ``ci`` is the forecast the scheduler plans against — in closed-loop
+    studies pass the realised series (a perfect forecast); for skill
+    studies pass a ``persistence_forecast`` / ``diurnal_template_forecast``
+    product and score emissions against the realised series separately.
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        environment: StaticEnvironment | CarbonAwareEnvironment,
+        ci: TimeSeries,
+        backfill_depth: int = 100,
+        offline_nodes: int = 0,
+        carbon_tick_interval_s: float = 1800.0,
+        low_g_per_kwh: float = PAPER_LOW_CI_G_PER_KWH,
+        high_g_per_kwh: float = PAPER_HIGH_CI_G_PER_KWH,
+        seed: int = 0,
+    ) -> None:
+        if backfill_depth < 0:
+            raise SchedulingError("backfill_depth must be non-negative")
+        if not 0 <= offline_nodes < n_nodes:
+            raise SchedulingError(
+                f"offline_nodes must be in [0, {n_nodes}), got {offline_nodes}"
+            )
+        if carbon_tick_interval_s <= 0:
+            raise SchedulingError("carbon_tick_interval_s must be positive")
+        if not low_g_per_kwh < high_g_per_kwh:
+            raise SchedulingError(
+                "low_g_per_kwh must be below high_g_per_kwh "
+                f"(got {low_g_per_kwh} >= {high_g_per_kwh})"
+            )
+        self.n_nodes = n_nodes
+        if isinstance(environment, CarbonAwareEnvironment):
+            environment = replace(
+                environment,
+                low_g_per_kwh=low_g_per_kwh,
+                high_g_per_kwh=high_g_per_kwh,
+            )
+        else:
+            environment = CarbonAwareEnvironment(
+                environment, low_g_per_kwh, high_g_per_kwh
+            )
+        self.environment = environment
+        self.forecast = ForecastIndex(ci)
+        self.backfill_depth = backfill_depth
+        self.offline_nodes = offline_nodes
+        self.carbon_tick_interval_s = carbon_tick_interval_s
+        self.low_g_per_kwh = low_g_per_kwh
+        self.high_g_per_kwh = high_g_per_kwh
+        self.seed = seed
+
+    def simulation(
+        self, jobs: list[Job], t_end_s: float, t_start_s: float = 0.0
+    ) -> MalleableSimulation:
+        """A stepping/checkpointable simulation over ``jobs``."""
+        return MalleableSimulation(self, jobs, t_end_s, t_start_s)
+
+    def run(
+        self, jobs: list[Job], t_end_s: float, t_start_s: float = 0.0
+    ) -> MalleableSimulationResult:
+        """Simulate ``jobs`` to completion (convenience one-shot)."""
+        return self.simulation(jobs, t_end_s, t_start_s).run_to_completion()
+
+
+@dataclass(frozen=True)
+class RigidMalleableComparison:
+    """Side-by-side outcome of rigid EASY backfill vs malleable scheduling."""
+
+    rigid: SimulationResult
+    malleable: MalleableSimulationResult
+    rigid_tco2e: float
+    malleable_tco2e: float
+
+    @property
+    def emissions_saving_tco2e(self) -> float:
+        """Scope-2 emissions avoided by going malleable (positive = better)."""
+        return self.rigid_tco2e - self.malleable_tco2e
+
+    @property
+    def energy_saving_kwh(self) -> float:
+        """Energy avoided by going malleable (positive = better)."""
+        return self.rigid.total_energy_kwh() - self.malleable.total_energy_kwh()
+
+    @property
+    def stretch_penalty(self) -> float:
+        """Mean bounded-slowdown increase paid for the carbon savings."""
+        return (
+            self.malleable.mean_bounded_stretch()
+            - self.rigid.mean_bounded_stretch()
+        )
+
+
+def compare_rigid_malleable(
+    jobs: list[Job],
+    t_end_s: float,
+    environment: StaticEnvironment,
+    ci: TimeSeries,
+    t_start_s: float = 0.0,
+    n_nodes: int | None = None,
+    backfill_depth: int = 100,
+    offline_nodes: int = 0,
+    carbon_tick_interval_s: float = 1800.0,
+    low_g_per_kwh: float = PAPER_LOW_CI_G_PER_KWH,
+    high_g_per_kwh: float = PAPER_HIGH_CI_G_PER_KWH,
+    seed: int = 0,
+) -> RigidMalleableComparison:
+    """Run the same trace rigidly and malleably; score both against ``ci``.
+
+    ``n_nodes`` defaults to the smallest power of two covering the widest
+    job (plus offline drain), which keeps ad-hoc comparisons runnable
+    without a facility config.
+    """
+    if n_nodes is None:
+        widest = max(job.n_nodes for job in jobs)
+        n_nodes = 1
+        while n_nodes < widest + offline_nodes + 1:
+            n_nodes *= 2
+    rigid = BackfillScheduler(n_nodes, backfill_depth, offline_nodes).run(
+        jobs, t_end_s, environment, t_start_s
+    )
+    malleable = MalleableScheduler(
+        n_nodes,
+        environment,
+        ci,
+        backfill_depth=backfill_depth,
+        offline_nodes=offline_nodes,
+        carbon_tick_interval_s=carbon_tick_interval_s,
+        low_g_per_kwh=low_g_per_kwh,
+        high_g_per_kwh=high_g_per_kwh,
+        seed=seed,
+    ).run(jobs, t_end_s, t_start_s)
+    return RigidMalleableComparison(
+        rigid=rigid,
+        malleable=malleable,
+        rigid_tco2e=trace_emissions_tco2e(rigid.trace, ci),
+        malleable_tco2e=trace_emissions_tco2e(malleable.trace, ci),
+    )

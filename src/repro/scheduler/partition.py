@@ -66,3 +66,23 @@ class NodePool:
                 f"cannot release {n} nodes: only {self._busy} allocated"
             )
         self._busy -= n
+
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Serializable snapshot of the allocation state."""
+        return {"n_nodes": self._n_nodes, "busy": self._busy}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore allocation state; the pool size must match the snapshot."""
+        if int(state["n_nodes"]) != self._n_nodes:
+            raise AllocationError(
+                f"checkpoint was taken on a {state['n_nodes']}-node pool; "
+                f"this pool has {self._n_nodes} nodes"
+            )
+        busy = int(state["busy"])
+        if not 0 <= busy <= self._n_nodes:
+            raise AllocationError(
+                f"checkpoint busy count {busy} outside [0, {self._n_nodes}]"
+            )
+        self._busy = busy

@@ -32,6 +32,11 @@ class JobStreamConfig:
     matching §3.2. Arrivals are a non-homogeneous Poisson process with
     diurnal, weekend and holiday modulation — the texture visible in the
     paper's Figure 1 (including the Christmas dip).
+
+    ``malleable_fraction`` of jobs declare an elastic shape — they can shrink
+    to ``n_nodes / malleable_span`` nodes at runtime and tolerate a start
+    delay drawn exponentially with mean ``shift_slack_mean_s`` — which is
+    what the carbon-aware malleable scheduler exploits.
     """
 
     n_facility_nodes: int
@@ -46,6 +51,9 @@ class JobStreamConfig:
     weekend_factor: float = 0.85
     holiday_factor: float = 0.35
     holiday_windows_s: tuple[tuple[float, float], ...] = ()
+    malleable_fraction: float = 0.0
+    malleable_span: float = 4.0
+    shift_slack_mean_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.n_facility_nodes <= 0:
@@ -71,6 +79,12 @@ class JobStreamConfig:
         for start, end in self.holiday_windows_s:
             if end <= start:
                 raise ConfigurationError("holiday window end must exceed start")
+        if not 0.0 <= self.malleable_fraction <= 1.0:
+            raise ConfigurationError("malleable_fraction must be in [0, 1]")
+        if self.malleable_span < 1.0:
+            raise ConfigurationError("malleable_span must be at least 1")
+        if self.shift_slack_mean_s < 0.0:
+            raise ConfigurationError("shift_slack_mean_s must be non-negative")
 
 
 class JobStreamGenerator:
@@ -110,6 +124,27 @@ class JobStreamGenerator:
         if self.rng.random() < self.config.user_override_fraction:
             return self.config.override_setting
         return None
+
+    def _draw_shape(self, n_nodes: int) -> tuple[int | None, int | None, float]:
+        """Elastic-shape draw: (min_nodes, max_nodes, shift_slack_s).
+
+        Rigid jobs (the ``1 - malleable_fraction`` majority) get
+        ``(None, None, 0.0)``. Malleable jobs can shrink down to
+        ``n_nodes / malleable_span`` (at least 1 node) and carry an
+        exponentially distributed start slack with the configured mean.
+        No draws are consumed when ``malleable_fraction`` is zero, so
+        existing seeded streams are unchanged.
+        """
+        cfg = self.config
+        if cfg.malleable_fraction <= 0.0:
+            return None, None, 0.0
+        if self.rng.random() >= cfg.malleable_fraction:
+            return None, None, 0.0
+        min_nodes = max(1, int(round(n_nodes / cfg.malleable_span)))
+        slack_s = 0.0
+        if cfg.shift_slack_mean_s > 0.0:
+            slack_s = float(self.rng.exponential(cfg.shift_slack_mean_s))
+        return min_nodes, n_nodes, slack_s
 
     def mean_job_node_seconds(self) -> float:
         """Expected node-seconds per job under the current configuration.
@@ -184,13 +219,18 @@ class JobStreamGenerator:
 
     def _make_job(self, submit_time_s: float) -> Job:
         app = self.mix.sample_app(self.rng)
+        n_nodes = self._draw_nodes(app.typical_nodes)
+        min_nodes, max_nodes, slack_s = self._draw_shape(n_nodes)
         job = Job(
             job_id=self._next_id,
             app=app,
-            n_nodes=self._draw_nodes(app.typical_nodes),
+            n_nodes=n_nodes,
             submit_time_s=submit_time_s,
             reference_runtime_s=self._draw_runtime_s(),
             frequency_override=self._draw_override(),
+            min_nodes=min_nodes,
+            max_nodes=max_nodes,
+            shift_slack_s=slack_s,
         )
         self._next_id += 1
         return job

@@ -28,6 +28,13 @@ class Job:
     ``frequency_override`` is the user's explicit ``--cpu-freq`` choice; when
     ``None`` the facility's default-frequency policy decides (§4.2: users
     could revert the 2.0 GHz default for their jobs).
+
+    ``min_nodes``/``max_nodes`` declare an *elastic shape*: the job can run
+    anywhere in ``[min_nodes, max_nodes]`` with ``n_nodes`` as its preferred
+    allocation, and a malleable scheduler may grow or shrink it at runtime.
+    Rigid jobs leave both ``None``. ``shift_slack_s`` is how far past
+    submission the job's start may be delayed (temporal load shifting into
+    low-carbon windows); 0 means start as soon as possible.
     """
 
     job_id: int
@@ -36,6 +43,9 @@ class Job:
     submit_time_s: float
     reference_runtime_s: float
     frequency_override: FrequencySetting | None = None
+    min_nodes: int | None = None
+    max_nodes: int | None = None
+    shift_slack_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.n_nodes <= 0:
@@ -45,6 +55,28 @@ class Job:
         if not np.isfinite(self.submit_time_s):
             raise ConfigurationError(f"job {self.job_id}: submit_time_s must be finite")
         ensure_positive(self.reference_runtime_s, f"job {self.job_id}: reference_runtime_s")
+        if (self.min_nodes is None) != (self.max_nodes is None):
+            raise ConfigurationError(
+                f"job {self.job_id}: min_nodes and max_nodes must be set together "
+                f"(got min={self.min_nodes}, max={self.max_nodes})"
+            )
+        if self.min_nodes is not None and self.max_nodes is not None:
+            if not 1 <= self.min_nodes <= self.n_nodes <= self.max_nodes:
+                raise ConfigurationError(
+                    f"job {self.job_id}: elastic shape must satisfy "
+                    f"1 <= min_nodes <= n_nodes <= max_nodes, got "
+                    f"min={self.min_nodes}, n={self.n_nodes}, max={self.max_nodes}"
+                )
+        if not np.isfinite(self.shift_slack_s) or self.shift_slack_s < 0:
+            raise ConfigurationError(
+                f"job {self.job_id}: shift_slack_s must be finite and "
+                f"non-negative, got {self.shift_slack_s}"
+            )
+
+    @property
+    def is_elastic(self) -> bool:
+        """Whether the job declares a malleable/moldable node-count shape."""
+        return self.min_nodes is not None
 
     def runtime_at_s(self, effective_ghz: float) -> float:
         """Wall time when executed at ``effective_ghz``, seconds."""

@@ -6,6 +6,7 @@ import pytest
 from repro.errors import AnalysisError
 from repro.grid.carbon_intensity import CarbonIntensityModel
 from repro.grid.forecast import (
+    ForecastIndex,
     diurnal_template_forecast,
     evaluate_forecast,
     persistence_forecast,
@@ -131,3 +132,80 @@ class TestEvaluateMisaligned:
         realised = TimeSeries(times, realised_values)
         with pytest.raises(AnalysisError):
             evaluate_forecast(forecast, realised)
+
+
+class TestForecastGridEdges:
+    """Horizon-edge regression: exact multiples must not drop their last point."""
+
+    def test_exact_multiple_with_fp_hostile_interval(self, history):
+        # 3600/7 is not representable in binary; 24 intervals of it would
+        # floor to 23 points under naive division.
+        interval = 3600.0 / 7.0
+        times = np.arange(0.0, 2 * SECONDS_PER_DAY, interval)
+        series = TimeSeries(times, np.full(len(times), 150.0))
+        forecast = persistence_forecast(series, 24 * interval)
+        assert len(forecast) == 24
+        assert forecast.times_s[-1] == pytest.approx(series.t_end_s + 24 * interval)
+
+    def test_exact_multiple_hourly(self, history):
+        forecast = persistence_forecast(history, 24 * 3600.0)
+        assert len(forecast) == 24
+
+    def test_diurnal_grid_matches_persistence_grid(self, history):
+        horizon = 36 * 3600.0
+        p = persistence_forecast(history, horizon)
+        d = diurnal_template_forecast(history, horizon)
+        assert np.array_equal(p.times_s, d.times_s)
+
+    def test_sub_interval_horizon_rejected(self, history):
+        with pytest.raises(AnalysisError):
+            persistence_forecast(history, 60.0)  # hourly cadence, 1 min horizon
+
+
+class TestForecastIndex:
+    @pytest.fixture
+    def step_series(self):
+        """100 on [0, 3600), 40 on [3600, 7200), 200 from 7200 on."""
+        return TimeSeries(
+            np.array([0.0, 3600.0, 7200.0]),
+            np.array([100.0, 40.0, 200.0]),
+            "ci",
+        )
+
+    def test_window_mean_exact_on_step_function(self, step_series):
+        index = ForecastIndex(step_series)
+        assert index.window_mean(0.0, 3600.0) == pytest.approx(100.0)
+        assert index.window_mean(0.0, 7200.0) == pytest.approx(70.0)
+        # Half in the 40 segment, half in the 200 segment.
+        assert index.window_mean(5400.0, 9000.0) == pytest.approx(120.0)
+
+    def test_ci_at_holds_previous_value_and_extends_flat(self, step_series):
+        index = ForecastIndex(step_series)
+        assert index.ci_at(-100.0) == 100.0
+        assert index.ci_at(3599.0) == 100.0
+        assert index.ci_at(3600.0) == 40.0
+        assert index.ci_at(1e9) == 200.0
+
+    def test_greenest_window_finds_the_low_segment(self, step_series):
+        index = ForecastIndex(step_series)
+        window = index.greenest_window(3600.0, 0.0, 86_400.0)
+        assert window.t_start_s == 3600.0
+        assert window.mean_ci_g_per_kwh == pytest.approx(40.0)
+
+    def test_greenest_window_ties_break_earliest(self):
+        flat = TimeSeries(
+            np.arange(0.0, 10 * 3600.0, 3600.0), np.full(10, 80.0), "ci"
+        )
+        window = ForecastIndex(flat).greenest_window(1800.0, 900.0, 5 * 3600.0)
+        assert window.t_start_s == 900.0
+
+    def test_nan_forecast_rejected(self):
+        series = TimeSeries(
+            np.array([0.0, 3600.0]), np.array([100.0, np.nan]), "ci"
+        )
+        with pytest.raises(AnalysisError):
+            ForecastIndex(series)
+
+    def test_degenerate_window_rejected(self, step_series):
+        with pytest.raises(AnalysisError):
+            ForecastIndex(step_series).window_mean(100.0, 100.0)

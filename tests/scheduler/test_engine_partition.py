@@ -95,3 +95,102 @@ class TestNodePool:
     def test_bad_capacity(self):
         with pytest.raises(AllocationError):
             NodePool(0)
+
+
+class TestEventQueueCheckpoint:
+    def _drain(self, q):
+        out = []
+        while len(q):
+            event = q.pop()
+            out.append((event.time_s, event.kind, event.payload))
+        return out
+
+    def test_mid_stream_round_trip(self):
+        import json
+
+        q = EventQueue()
+        q.push(Event(5.0, EventKind.JOB_END, (3, 0)))
+        q.push(Event(1.0, EventKind.JOB_SUBMIT, 3))
+        q.push(Event(9.0, EventKind.SIM_END))
+        q.push(Event(5.0, EventKind.CARBON_TICK))
+        q.pop()  # consume the submit; queue is now mid-stream
+        snapshot = json.loads(json.dumps(q.state_dict()))
+        restored = EventQueue()
+        restored.load_state_dict(snapshot)
+        assert self._drain(restored) == self._drain(q)
+
+    def test_restored_queue_preserves_time_floor(self):
+        q = EventQueue()
+        q.push(Event(10.0, EventKind.MARKER))
+        q.pop()
+        restored = EventQueue()
+        restored.load_state_dict(q.state_dict())
+        with pytest.raises(SchedulingError):
+            restored.push(Event(5.0, EventKind.MARKER))
+
+    def test_json_round_trip_normalises_list_payloads_to_tuples(self):
+        """JSON turns tuple payloads into lists; load must restore tuples so
+        generation-tagged JOB_END payloads compare equal after resume."""
+        import json
+
+        q = EventQueue()
+        q.push(Event(2.0, EventKind.JOB_END, (7, 4)))
+        restored = EventQueue()
+        restored.load_state_dict(json.loads(json.dumps(q.state_dict())))
+        assert restored.pop().payload == (7, 4)
+
+    def test_fifo_counter_survives_resume(self):
+        """Events pushed after a resume must sort behind pre-snapshot events
+        at the same timestamp (the counter keeps monotone FIFO order)."""
+        q = EventQueue()
+        q.push(Event(1.0, EventKind.MARKER, "first"))
+        restored = EventQueue()
+        restored.load_state_dict(q.state_dict())
+        restored.push(Event(1.0, EventKind.MARKER, "second"))
+        assert [restored.pop().payload for _ in range(2)] == ["first", "second"]
+
+
+class TestNodePoolCheckpoint:
+    def test_round_trip_preserves_allocation(self):
+        pool = NodePool(100)
+        pool.allocate(37)
+        restored = NodePool(100)
+        restored.load_state_dict(pool.state_dict())
+        assert restored.busy == 37
+        assert restored.free == 63
+
+    def test_capacity_mismatch_rejected(self):
+        pool = NodePool(100)
+        other = NodePool(64)
+        with pytest.raises(AllocationError):
+            other.load_state_dict(pool.state_dict())
+
+    def test_corrupt_busy_count_rejected(self):
+        pool = NodePool(16)
+        with pytest.raises(AllocationError):
+            pool.load_state_dict({"n_nodes": 16, "busy": 17})
+        with pytest.raises(AllocationError):
+            pool.load_state_dict({"n_nodes": 16, "busy": -1})
+
+    def test_conservation_through_seeded_churn(self):
+        """allocated + free == total holds through an arbitrary seeded
+        alloc/release sequence, and survives a mid-sequence checkpoint."""
+        import numpy as np
+
+        rng = np.random.default_rng(42)
+        pool = NodePool(128)
+        held = []
+        for step in range(200):
+            if held and rng.random() < 0.45:
+                pool.release(held.pop(rng.integers(len(held))))
+            else:
+                width = int(rng.integers(1, 17))
+                if pool.fits(width):
+                    pool.allocate(width)
+                    held.append(width)
+            assert pool.busy + pool.free == 128
+            assert pool.busy == sum(held)
+            if step == 100:
+                restored = NodePool(128)
+                restored.load_state_dict(pool.state_dict())
+                assert restored.busy == pool.busy

@@ -128,3 +128,66 @@ class TestTwoGhzDefault:
         first = policy.perf_impact(app, cpu, DeterminismMode.PERFORMANCE)
         second = policy.perf_impact(app, cpu, DeterminismMode.PERFORMANCE)
         assert first == second
+
+
+class TestCarbonAwareResolution:
+    """``setting_for_ci`` boundary semantics at 30.0 / 100.0 gCO₂/kWh."""
+
+    @pytest.fixture
+    def slow_default(self):
+        return FrequencyPolicy(default_setting=FrequencySetting.GHZ_2_0)
+
+    def test_below_low_boundary_resets_to_fast(self, slow_default, cpu, catalogue):
+        """Scope-3 regime: a nearly clean grid argues for finishing fast,
+        even under a 2.0 GHz default policy."""
+        job = make_job(catalogue["VASP CdTe"])
+        setting = slow_default.setting_for_ci(
+            job, cpu, DeterminismMode.PERFORMANCE, ci_g_per_kwh=29.999
+        )
+        assert setting is FrequencySetting.GHZ_2_25_TURBO
+
+    def test_low_boundary_is_inclusive_into_static_rules(
+        self, slow_default, cpu, catalogue
+    ):
+        """Exactly 30.0 is *balanced* (mirrors ``classify_ci``): the static
+        policy applies, so the 2.0 GHz default sticks."""
+        job = make_job(catalogue["VASP CdTe"])
+        setting = slow_default.setting_for_ci(
+            job, cpu, DeterminismMode.PERFORMANCE, ci_g_per_kwh=30.0
+        )
+        assert setting is FrequencySetting.GHZ_2_0
+
+    def test_high_boundary_is_inclusive_into_static_rules(self, cpu, catalogue):
+        """Exactly 100.0 is still balanced: a turbo-default policy keeps
+        turbo; only *strictly above* drops to 2.0 GHz."""
+        policy = FrequencyPolicy()  # default 2.25+turbo
+        job = make_job(catalogue["LAMMPS Ethanol"])
+        at_boundary = policy.setting_for_ci(
+            job, cpu, DeterminismMode.PERFORMANCE, ci_g_per_kwh=100.0
+        )
+        above = policy.setting_for_ci(
+            job, cpu, DeterminismMode.PERFORMANCE, ci_g_per_kwh=100.001
+        )
+        assert at_boundary is FrequencySetting.GHZ_2_25_TURBO
+        assert above is FrequencySetting.GHZ_2_0
+
+    @pytest.mark.parametrize("ci", [5.0, 30.0, 65.0, 100.0, 400.0])
+    def test_user_override_wins_at_any_ci(self, slow_default, cpu, catalogue, ci):
+        job = make_job(
+            catalogue["LAMMPS Ethanol"], override=FrequencySetting.GHZ_2_25_TURBO
+        )
+        setting = slow_default.setting_for_ci(
+            job, cpu, DeterminismMode.PERFORMANCE, ci_g_per_kwh=ci
+        )
+        assert setting is FrequencySetting.GHZ_2_25_TURBO
+
+    def test_custom_thresholds_shift_the_regimes(self, slow_default, cpu, catalogue):
+        job = make_job(catalogue["VASP CdTe"])
+        setting = slow_default.setting_for_ci(
+            job,
+            cpu,
+            DeterminismMode.PERFORMANCE,
+            ci_g_per_kwh=65.0,
+            low_g_per_kwh=70.0,
+        )
+        assert setting is FrequencySetting.GHZ_2_25_TURBO
