@@ -155,3 +155,98 @@ def test_malleable_scheduler_at_scale(once):
     assert r["rerun_identical"]
     assert r["resume_identical"]
     assert r["n_shrinks"] > 0 and r["n_grows"] > 0 and r["n_shifted"] > 0
+
+
+# --- fault injection -------------------------------------------------------
+#
+# The same trace, now on an imperfect machine: seeded node failures at the
+# CLI-default MTBF/MTTR kill jobs, requeue them with backoff, and drain
+# capacity while nodes repair. Gates: the extended conservation identities
+# hold (delivered + wasted node-hours reconcile against the trace), the
+# measured mean unavailability lands within 2x of the two-state Markov
+# steady state MTTR/(MTBF+MTTR), and both a seeded rerun and a mid-fault
+# kill/resume stay byte-identical.
+
+MTBF_HOURS = 4380.0
+MTTR_HOURS = 12.0
+
+
+def _run_faulted() -> dict:
+    from repro.facility.failures import FailureModel, FaultConfig
+
+    jobs, t_end_s, ci = _build_trace()
+    environment = StaticEnvironment(node_model=build_node_model())
+    fault_config = FaultConfig(
+        model=FailureModel(mtbf_hours=MTBF_HOURS, mttr_hours=MTTR_HOURS),
+        seed=SEED,
+    )
+
+    scheduler = MalleableScheduler(
+        N_NODES, environment, ci, seed=SEED, fault_config=fault_config
+    )
+
+    t0 = time.perf_counter()
+    faulted = scheduler.run(jobs, t_end_s)
+    t_faulted = time.perf_counter() - t0
+
+    rerun = scheduler.run(jobs, t_end_s)
+    rerun_identical = (
+        _trace_bytes(rerun.trace) == _trace_bytes(faulted.trace)
+        and rerun.records == faulted.records
+        and rerun.faults == faulted.faults
+    )
+
+    # Kill mid-trace while faults are in flight, JSON round-trip, resume.
+    sim = scheduler.simulation(jobs, t_end_s)
+    for _ in range(3 * N_JOBS // 2):
+        if not sim.step():
+            break
+    snapshot = json.loads(json.dumps(sim.state_dict()))
+    resumed_sim = scheduler.simulation(jobs, t_end_s)
+    resumed_sim.load_state_dict(snapshot)
+    resumed = resumed_sim.run_to_completion()
+    resume_identical = (
+        _trace_bytes(resumed.trace) == _trace_bytes(faulted.trace)
+        and resumed.records == faulted.records
+        and resumed.faults == faulted.faults
+    )
+
+    span_s = faulted.t_end_s - faulted.t_start_s
+    return {
+        "t_faulted": t_faulted,
+        "span_days": span_s / 86400.0,
+        "faults": faulted.faults,
+        "measured_unavailability": faulted.faults.mean_unavailability(
+            N_NODES, span_s
+        ),
+        "steady_state": fault_config.model.steady_state_unavailability,
+        "reconciles": faulted.reconciles(),
+        "n_completed": faulted.n_completed,
+        "n_failed_terminal": faulted.faults.n_failed_terminal,
+        "rerun_identical": rerun_identical,
+        "resume_identical": resume_identical,
+    }
+
+
+def test_faulted_scheduler_at_scale(once):
+    r = once(_run_faulted)
+    acct = r["faults"]
+    rows = [
+        ["Fault model", f"MTBF {MTBF_HOURS:g} h, MTTR {MTTR_HOURS:g} h, seed {SEED}"],
+        ["Faulted run", f"{r['t_faulted']:.1f} s over {r['span_days']:.0f} days"],
+        ["Node failures", f"{acct.n_failures:,} ({acct.n_job_kills:,} job kills, {acct.n_retries:,} retries, {acct.n_failed_terminal:,} terminal)"],
+        ["Wasted", f"{acct.wasted_node_hours:,.0f} node-h, {acct.wasted_energy_kwh:,.0f} kWh"],
+        ["Drained", f"{acct.drained_node_hours:,.0f} node-h"],
+        ["Mean unavailability", f"{r['measured_unavailability']:.5f} (steady state {r['steady_state']:.5f})"],
+        ["Conservation reconciles", str(r["reconciles"])],
+        ["Seeded rerun byte-identical", str(r["rerun_identical"])],
+        ["Mid-fault kill/resume byte-identical", str(r["resume_identical"])],
+    ]
+    print()
+    print(render_table(["Quantity", "Value"], rows, title="Scheduling under injected faults"))
+
+    assert acct.n_failures > 0 and acct.n_job_kills > 0
+    assert r["reconciles"]
+    assert r["steady_state"] / 2.0 <= r["measured_unavailability"] <= r["steady_state"] * 2.0
+    assert r["rerun_identical"]
+    assert r["resume_identical"]

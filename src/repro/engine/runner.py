@@ -25,6 +25,8 @@ Results are :class:`SweepResult` objects implementing the library-wide
 from __future__ import annotations
 
 import concurrent.futures
+import warnings
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
@@ -536,6 +538,42 @@ def _chunk_ranges(n: int, chunk_size: int) -> list[tuple[int, int]]:
     return [(lo, min(lo + chunk_size, n)) for lo in range(0, n, chunk_size)]
 
 
+# Executor factory, module-level so tests can substitute a deliberately
+# broken pool without spawning real worker processes.
+_POOL_EXECUTOR = concurrent.futures.ProcessPoolExecutor
+
+
+def _fan_out_chunks(
+    spec_json: str,
+    missing: list[tuple[int, int, int]],
+    workers: int,
+    on_chunk: Callable[[int, int, int, dict[str, np.ndarray]], None],
+) -> list[tuple[int, int, int]]:
+    """Fan ``missing`` chunks over a process pool; return chunks left undone.
+
+    Only :class:`BrokenProcessPool` is swallowed — a worker process died
+    under the task (OOM kill, hard crash, interpreter abort), which says
+    nothing about the chunk itself. Exceptions *raised by* a chunk task
+    propagate unchanged. Whatever had not completed when the pool broke is
+    returned, in chunk order, for the caller to retry or run in-process.
+    """
+    remaining = {i: (lo, hi) for i, lo, hi in missing}
+    try:
+        with _POOL_EXECUTOR(max_workers=min(workers, len(missing))) as pool:
+            futures = {
+                pool.submit(_compute_chunk_task, spec_json, lo, hi): i
+                for i, lo, hi in missing
+            }
+            for future in concurrent.futures.as_completed(futures):
+                i = futures[future]
+                lo, hi, columns = future.result()
+                on_chunk(i, lo, hi, columns)
+                del remaining[i]
+    except BrokenProcessPool:
+        pass
+    return [(i, lo, hi) for i, (lo, hi) in sorted(remaining.items())]
+
+
 def _freeze(columns: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
     for arr in columns.values():
         arr.setflags(write=False)
@@ -602,27 +640,38 @@ def run_sweep(
             missing.append((i, lo, hi))
 
     if missing:
+        pending = missing
         if workers > 1 and len(missing) > 1:
             spec_json = spec.canonical_json()
-            with concurrent.futures.ProcessPoolExecutor(
-                max_workers=min(workers, len(missing))
-            ) as pool:
-                futures = {
-                    pool.submit(_compute_chunk_task, spec_json, lo, hi): i
-                    for i, lo, hi in missing
-                }
-                for future in concurrent.futures.as_completed(futures):
-                    i = futures[future]
-                    lo, hi, columns = future.result()
-                    chunks[i] = columns
-                    if store:
-                        store.put_chunk(spec, lo, hi, columns)
-                    done += 1
-                    if progress:
-                        progress(done, len(ranges), "computed")
-        else:
+
+            def accept(i: int, lo: int, hi: int, columns: dict) -> None:
+                nonlocal done
+                chunks[i] = columns
+                if store:
+                    store.put_chunk(spec, lo, hi, columns)
+                done += 1
+                if progress:
+                    progress(done, len(ranges), "computed")
+
+            pending = _fan_out_chunks(spec_json, pending, workers, accept)
+            if pending:
+                warnings.warn(
+                    "sweep worker pool broke mid-fan-out; retrying "
+                    f"{len(pending)} chunk(s) on a fresh pool",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                pending = _fan_out_chunks(spec_json, pending, workers, accept)
+            if pending:
+                warnings.warn(
+                    "sweep worker pool broke twice; computing "
+                    f"{len(pending)} chunk(s) in-process",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+        if pending:
             ctx = _build_context(spec, node_model)
-            for i, lo, hi in missing:
+            for i, lo, hi in pending:
                 columns = _evaluate_chunk(ctx, lo, hi)
                 chunks[i] = columns
                 if store:

@@ -20,7 +20,7 @@ from .archer2 import (
     scaled_inventory,
 )
 from .cooling import CoolingAssessment, CoolingModel
-from .failures import FailureModel, FailureTimeline
+from .failures import FailureModel, FailureTimeline, FaultConfig
 from .hardware import (
     CabinetSpec,
     CDUSpec,
@@ -61,6 +61,7 @@ __all__ = [
     "CoolingAssessment",
     "FailureModel",
     "FailureTimeline",
+    "FaultConfig",
     "PueReport",
     "pue",
     "pue_from_breakdown",

@@ -11,14 +11,14 @@ measured 3,220 kW baseline from the Table 2 full-load sum.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..errors import ConfigurationError
-from ..units import SECONDS_PER_HOUR, ensure_positive
+from ..units import SECONDS_PER_HOUR, ensure_nonnegative, ensure_positive
 
-__all__ = ["FailureModel", "FailureTimeline"]
+__all__ = ["FailureModel", "FailureTimeline", "FaultConfig"]
 
 
 @dataclass(frozen=True)
@@ -71,7 +71,13 @@ class FailureModel:
         mtbf_s = self.mtbf_hours * SECONDS_PER_HOUR
         mttr_s = self.mttr_hours * SECONDS_PER_HOUR
 
-        times = np.arange(0.0, duration_s, sample_interval_s)
+        # Pin the step count with an epsilon before flooring so a span that
+        # is an exact multiple of the sampling interval keeps its final
+        # sample point (mirrors the `_forecast_grid` horizon-edge fix) —
+        # `np.arange(0, 86400, 3600)` would drop t=86400 outright while
+        # float division error could also lose interior points.
+        n_steps = int(np.floor(duration_s / sample_interval_s + 1e-9))
+        times = sample_interval_s * np.arange(n_steps + 1, dtype=float)
         down_at = np.empty(len(times), dtype=float)
         t = 0.0
         down = int(round(n_nodes * self.steady_state_unavailability))
@@ -122,3 +128,62 @@ class FailureTimeline:
             return 0.0
         interval = float(self.times_s[1] - self.times_s[0])
         return float(self.down_nodes.sum()) * interval / SECONDS_PER_HOUR
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Fault-injection knobs for the scheduler simulations.
+
+    ``model`` drives seeded event-driven node failures (rate ``up/MTBF``)
+    and per-node exponential repairs (mean MTTR). A failure on a busy node
+    kills the victim job: the burned node-hours are charged as wasted
+    energy and the job requeues after a seeded exponential backoff
+    (``base · multiplier^(attempt-1)`` capped at ``backoff_cap_s``, jittered
+    uniformly in [0.5, 1.5)×) until ``max_retries`` is exhausted, after
+    which it is dropped as terminally failed.
+
+    ``checkpoint_interval_s > 0`` enables simulated checkpoint/restart for
+    the malleable progress model: a restarted attempt resumes from the last
+    whole checkpoint boundary, minus ``checkpoint_overhead_s`` of recovery
+    work, instead of from zero. Rigid jobs always restart from zero.
+    """
+
+    model: FailureModel = field(default_factory=FailureModel)
+    seed: int = 0
+    max_retries: int = 3
+    backoff_base_s: float = 300.0
+    backoff_multiplier: float = 2.0
+    backoff_cap_s: float = 4.0 * SECONDS_PER_HOUR
+    checkpoint_interval_s: float = 0.0
+    checkpoint_overhead_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be non-negative, got {self.max_retries}"
+            )
+        ensure_positive(self.backoff_base_s, "backoff_base_s")
+        if self.backoff_multiplier < 1.0:
+            raise ConfigurationError(
+                f"backoff_multiplier must be >= 1, got {self.backoff_multiplier}"
+            )
+        ensure_positive(self.backoff_cap_s, "backoff_cap_s")
+        ensure_nonnegative(self.checkpoint_interval_s, "checkpoint_interval_s")
+        ensure_nonnegative(self.checkpoint_overhead_s, "checkpoint_overhead_s")
+
+    @property
+    def mtbf_s(self) -> float:
+        """Per-node mean time between failures, seconds."""
+        return self.model.mtbf_hours * SECONDS_PER_HOUR
+
+    @property
+    def mttr_s(self) -> float:
+        """Per-node mean time to repair, seconds."""
+        return self.model.mttr_hours * SECONDS_PER_HOUR
+
+    def backoff_s(self, attempt: int, jitter: float) -> float:
+        """Requeue delay for retry ``attempt`` (1-based) with ``jitter`` ∈ [0, 1)."""
+        if attempt < 1:
+            raise ConfigurationError(f"attempt must be >= 1, got {attempt}")
+        base = self.backoff_base_s * self.backoff_multiplier ** (attempt - 1)
+        return min(self.backoff_cap_s, base) * (0.5 + jitter)

@@ -8,12 +8,15 @@ from .carbon_intensity import (
 )
 from .events import GridStressEvent, GridStressGenerator, demand_response_summary
 from .forecast import (
+    FeedOutage,
+    ForecastFeed,
     ForecastIndex,
     ForecastSkill,
     ForecastWindow,
     diurnal_template_forecast,
     evaluate_forecast,
     persistence_forecast,
+    sample_feed_outages,
 )
 from .pricing import PricingModel, energy_cost_gbp
 from .trajectory import (
@@ -35,6 +38,9 @@ __all__ = [
     "ForecastSkill",
     "ForecastWindow",
     "ForecastIndex",
+    "FeedOutage",
+    "ForecastFeed",
+    "sample_feed_outages",
     "persistence_forecast",
     "diurnal_template_forecast",
     "evaluate_forecast",

@@ -27,6 +27,9 @@ __all__ = [
     "ForecastSkill",
     "ForecastWindow",
     "ForecastIndex",
+    "FeedOutage",
+    "ForecastFeed",
+    "sample_feed_outages",
     "persistence_forecast",
     "diurnal_template_forecast",
     "evaluate_forecast",
@@ -216,6 +219,127 @@ class ForecastIndex:
             t_end_s=best_start_s + duration_s,
             mean_ci_g_per_kwh=best_mean,
         )
+
+
+@dataclass(frozen=True)
+class FeedOutage:
+    """One interval during which the carbon-intensity feed is unreachable.
+
+    Refresh attempts inside ``[t_start_s, t_end_s)`` fail; the first
+    attempt at or after ``t_end_s`` succeeds again.
+    """
+
+    t_start_s: float
+    t_end_s: float
+
+    def __post_init__(self) -> None:
+        if not (np.isfinite(self.t_start_s) and np.isfinite(self.t_end_s)):
+            raise AnalysisError("outage bounds must be finite")
+        if self.t_end_s <= self.t_start_s:
+            raise AnalysisError(
+                f"outage end {self.t_end_s} must exceed start {self.t_start_s}"
+            )
+
+    def covers(self, t_s: float) -> bool:
+        """Whether a refresh attempt at ``t_s`` falls inside the outage."""
+        return self.t_start_s <= t_s < self.t_end_s
+
+
+class ForecastFeed:
+    """A live CI feed: periodic refreshes over an index, with outages.
+
+    Real carbon-intensity products are polled on a cadence (the national
+    grid API publishes half-hourly); between refreshes consumers hold the
+    last fetched value, and when the feed is down they keep holding it —
+    growing stale — until a refresh succeeds again. ``ci_at`` returns the
+    value as of the last *successful* refresh, and ``staleness_s`` tells a
+    consumer how old that is, so it can degrade gracefully past a
+    threshold. The feed holds no mutable state (everything is a pure
+    function of time), so checkpointed simulations need not serialize it.
+    """
+
+    def __init__(
+        self,
+        index: ForecastIndex,
+        refresh_interval_s: float = 1800.0,
+        outages: tuple[FeedOutage, ...] = (),
+    ) -> None:
+        ensure_positive(refresh_interval_s, "refresh_interval_s")
+        self.index = index
+        self.refresh_interval_s = refresh_interval_s
+        self.outages = tuple(sorted(outages, key=lambda o: o.t_start_s))
+        for prev, cur in zip(self.outages, self.outages[1:]):
+            if cur.t_start_s < prev.t_end_s:
+                raise AnalysisError(
+                    f"outages overlap: [{prev.t_start_s}, {prev.t_end_s}) and "
+                    f"[{cur.t_start_s}, {cur.t_end_s})"
+                )
+        self._t0 = float(index.series.times_s[0])
+
+    def last_refresh_s(self, t_s: float) -> float:
+        """Time of the last successful refresh at or before ``t_s``.
+
+        Refresh instants sit on the cadence grid anchored at the series
+        start; the initial fetch at the anchor always succeeds (a feed that
+        never connected has nothing to hold).
+        """
+        if t_s <= self._t0:
+            return self._t0
+        k = int(np.floor((t_s - self._t0) / self.refresh_interval_s + 1e-9))
+        while k > 0:
+            candidate = self._t0 + k * self.refresh_interval_s
+            blocking = next((o for o in self.outages if o.covers(candidate)), None)
+            if blocking is None:
+                return candidate
+            # Jump straight to the last grid instant before the outage began.
+            k = int(
+                np.floor(
+                    (blocking.t_start_s - self._t0) / self.refresh_interval_s - 1e-9
+                )
+            )
+        return self._t0
+
+    def staleness_s(self, t_s: float) -> float:
+        """Age of the data a consumer sees at ``t_s``, seconds."""
+        return t_s - self.last_refresh_s(t_s)
+
+    def is_stale(self, t_s: float, threshold_s: float) -> bool:
+        """Whether the held value is older than ``threshold_s``."""
+        return self.staleness_s(t_s) > threshold_s
+
+    def ci_at(self, t_s: float) -> float:
+        """CI as of the last successful refresh (held during outages)."""
+        return self.index.ci_at(self.last_refresh_s(t_s))
+
+
+def sample_feed_outages(
+    duration_s: float,
+    rng: np.random.Generator,
+    mtbf_hours: float = 72.0,
+    mttr_hours: float = 3.0,
+) -> tuple[FeedOutage, ...]:
+    """Seeded Poisson outage schedule for a forecast feed over a span.
+
+    Outages arrive with exponential gaps (mean ``mtbf_hours`` measured from
+    the end of the previous outage) and last an exponential ``mttr_hours``,
+    truncated at the span end — non-overlapping by construction.
+    """
+    ensure_positive(duration_s, "duration_s")
+    ensure_positive(mtbf_hours, "mtbf_hours")
+    ensure_positive(mttr_hours, "mttr_hours")
+    mtbf_s = mtbf_hours * 3600.0
+    mttr_s = mttr_hours * 3600.0
+    outages: list[FeedOutage] = []
+    t = 0.0
+    while True:
+        start = t + float(rng.exponential(mtbf_s))
+        if start >= duration_s:
+            break
+        end = min(start + float(rng.exponential(mttr_s)), duration_s)
+        if end > start:
+            outages.append(FeedOutage(start, end))
+        t = end
+    return tuple(outages)
 
 
 def evaluate_forecast(forecast: TimeSeries, realised: TimeSeries) -> ForecastSkill:

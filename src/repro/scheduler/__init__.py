@@ -1,6 +1,7 @@
 """Scheduler substrate: discrete-event engine, node pool, EASY backfill."""
 
 from .accounting import (
+    FaultAccounting,
     PowerTrace,
     SimulationResult,
     TraceBuilder,
@@ -44,6 +45,7 @@ __all__ = [
     "BackfillScheduler",
     "DemandResponseEnvironment",
     "response_latency_estimate",
+    "FaultAccounting",
     "PowerTrace",
     "TraceBuilder",
     "SimulationResult",

@@ -8,6 +8,7 @@ integrates exactly (no quadrature error).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -15,7 +16,7 @@ import numpy as np
 from typing import TYPE_CHECKING
 
 from ..errors import SchedulingError
-from ..units import JOULES_PER_KWH, emissions_g, g_to_tonnes
+from ..units import JOULES_PER_KWH, SECONDS_PER_HOUR, emissions_g, g_to_tonnes
 from ..workload.jobs import JobRecord
 
 if TYPE_CHECKING:  # telemetry.recorder imports this module — keep type-only
@@ -24,6 +25,7 @@ if TYPE_CHECKING:  # telemetry.recorder imports this module — keep type-only
 __all__ = [
     "PowerTrace",
     "TraceBuilder",
+    "FaultAccounting",
     "SimulationResult",
     "trace_emissions_tco2e",
     "bounded_stretches",
@@ -81,6 +83,10 @@ class PowerTrace:
     def energy_j(self) -> float:
         """Exact busy-node energy over the span, joules."""
         return float(np.dot(self.busy_power_w, self._segment_durations()))
+
+    def node_seconds(self) -> float:
+        """Exact busy node-seconds integrated over the span."""
+        return float(np.dot(self.busy_nodes, self._segment_durations()))
 
     def sample(self, sample_times_s: np.ndarray) -> np.ndarray:
         """Sample busy power at arbitrary times (previous-value hold).
@@ -153,6 +159,50 @@ class TraceBuilder:
 
 
 @dataclass(frozen=True)
+class FaultAccounting:
+    """Fault-injection outcome counters and wasted-capacity integrals.
+
+    All-zero by default, so fault-free results carry a trivially consistent
+    account. ``wasted_node_seconds``/``wasted_energy_j`` are the burn of
+    attempts killed by node failures (re-execution inflates operational
+    emissions); ``drained_node_seconds`` is capacity lost while failed nodes
+    awaited repair. The degraded-tick counters track forecast-feed outages
+    in the malleable scheduler.
+    """
+
+    n_failures: int = 0
+    n_job_kills: int = 0
+    n_retries: int = 0
+    n_failed_terminal: int = 0
+    wasted_node_seconds: float = 0.0
+    wasted_energy_j: float = 0.0
+    drained_node_seconds: float = 0.0
+    n_degraded_ticks: int = 0
+    n_degraded_starts: int = 0
+
+    @property
+    def wasted_node_hours(self) -> float:
+        """Node-hours burned by killed attempts."""
+        return self.wasted_node_seconds / SECONDS_PER_HOUR
+
+    @property
+    def wasted_energy_kwh(self) -> float:
+        """Energy burned by killed attempts, kWh."""
+        return self.wasted_energy_j / JOULES_PER_KWH
+
+    @property
+    def drained_node_hours(self) -> float:
+        """Node-hours of capacity lost to repair drains."""
+        return self.drained_node_seconds / SECONDS_PER_HOUR
+
+    def mean_unavailability(self, n_nodes: int, span_s: float) -> float:
+        """Time-average fraction of the fleet held down for repair."""
+        if n_nodes <= 0 or span_s <= 0:
+            return 0.0
+        return self.drained_node_seconds / (n_nodes * span_s)
+
+
+@dataclass(frozen=True)
 class SimulationResult:
     """Everything a scheduler run produced."""
 
@@ -162,29 +212,68 @@ class SimulationResult:
     records: list[JobRecord]
     n_unstarted: int
     trace: PowerTrace
+    n_jobs: int = 0
+    n_completed: int = 0
+    n_running_at_end: int = 0
+    faults: FaultAccounting = field(default_factory=FaultAccounting)
 
     @property
     def span_s(self) -> float:
         """Simulated wall-clock span, seconds."""
         return self.t_end_s - self.t_start_s
 
+    def reconciles(self, rel_tol: float = 1e-6) -> bool:
+        """Conservation identities of the run.
+
+        Checks (1) job conservation — submitted == completed +
+        terminally-failed + running-at-horizon + still-queued; (2) node-hour
+        conservation — the trace's busy integral equals delivered plus
+        wasted record node-seconds; (3) the wasted column matches the
+        interrupted records; and (4) busy plus drained capacity never
+        exceeds the facility's node-seconds over the span. Float identities
+        use a relative tolerance (the two sides group the same rectangle
+        areas differently).
+        """
+        jobs_ok = self.n_jobs == (
+            self.n_completed
+            + self.faults.n_failed_terminal
+            + self.n_running_at_end
+            + self.n_unstarted
+        )
+        delivered = sum(r.node_seconds for r in self.records if not r.interrupted)
+        wasted = sum(r.node_seconds for r in self.records if r.interrupted)
+        busy = self.trace.node_seconds()
+        abs_tol = 1e-6 * max(1.0, self.span_s)
+        hours_ok = math.isclose(
+            delivered + wasted, busy, rel_tol=rel_tol, abs_tol=abs_tol
+        )
+        wasted_ok = math.isclose(
+            wasted, self.faults.wasted_node_seconds, rel_tol=rel_tol, abs_tol=abs_tol
+        )
+        capacity = self.n_nodes * self.span_s
+        capacity_ok = (
+            busy + self.faults.drained_node_seconds <= capacity * (1 + rel_tol) + abs_tol
+        )
+        return jobs_ok and hours_ok and wasted_ok and capacity_ok
+
     def mean_utilisation(self) -> float:
         """Time-weighted mean node utilisation over the span."""
         return self.trace.mean_busy_nodes() / self.n_nodes
 
     def total_node_hours(self) -> float:
-        """Node-hours delivered to jobs within the span."""
-        return sum(r.node_hours for r in self.records)
+        """Node-hours delivered to jobs within the span (wasted burn excluded)."""
+        return sum(r.node_hours for r in self.records if not r.interrupted)
 
     def total_energy_kwh(self) -> float:
         """Busy-node energy integrated over the span, kWh."""
         return self.trace.energy_j() / JOULES_PER_KWH
 
     def mean_wait_s(self) -> float:
-        """Mean queue wait of started jobs, seconds (0 when no records)."""
-        if not self.records:
+        """Mean queue wait of completed attempts, seconds (0 when none)."""
+        waits = [r.wait_s for r in self.records if not r.interrupted]
+        if not waits:
             return 0.0
-        return float(np.mean([r.wait_s for r in self.records]))
+        return float(np.mean(waits))
 
     def node_hours_by_app(self) -> dict[str, float]:
         """Node-hours per application name."""
@@ -214,14 +303,16 @@ class SimulationResult:
 
     def mean_bounded_stretch(self, tau_s: float = 600.0) -> float:
         """Mean bounded slowdown of started jobs (1.0 when none ran)."""
-        stretches = bounded_stretches(self.records, tau_s)
+        completed = [r for r in self.records if not r.interrupted]
+        stretches = bounded_stretches(completed, tau_s)
         if len(stretches) == 0:
             return 1.0
         return float(np.mean(stretches))
 
     def p95_bounded_stretch(self, tau_s: float = 600.0) -> float:
         """95th-percentile bounded slowdown of started jobs (1.0 when none ran)."""
-        stretches = bounded_stretches(self.records, tau_s)
+        completed = [r for r in self.records if not r.interrupted]
+        stretches = bounded_stretches(completed, tau_s)
         if len(stretches) == 0:
             return 1.0
         return float(np.quantile(stretches, 0.95))

@@ -19,15 +19,18 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Protocol
+from typing import Any, Protocol
+
+import numpy as np
 
 from ..errors import SchedulingError
+from ..facility.failures import FaultConfig
 from ..node.cpu import CpuModel
 from ..node.determinism import DeterminismMode
 from ..node.node_power import NodePowerModel
 from ..node.pstates import FrequencySetting
 from ..workload.jobs import Job, JobRecord
-from .accounting import SimulationResult, TraceBuilder
+from .accounting import FaultAccounting, SimulationResult, TraceBuilder
 from .engine import Event, EventKind, EventQueue
 from .frequency_policy import FrequencyPolicy
 from .partition import NodePool
@@ -155,6 +158,7 @@ class _Running:
     start_s: float
     end_s: float
     resolved: ResolvedExecution
+    attempt: int = 0
 
 
 class BackfillScheduler:
@@ -164,10 +168,21 @@ class BackfillScheduler:
     (:class:`repro.facility.failures.FailureModel`): those nodes never host
     jobs but still draw idle power in the facility roll-up, since the
     telemetry recorder charges idle power to every non-busy node.
+
+    ``fault_config`` switches on *dynamic* faults: seeded node failures
+    drain capacity mid-run, kill the jobs they hit (the burned node-hours
+    are charged as wasted energy) and requeue them with exponential
+    backoff until the retry budget runs out. Rigid jobs restart from zero
+    — there is no checkpoint/restart in the rigid path. With the default
+    ``None`` the simulation is byte-identical to a fault-free machine.
     """
 
     def __init__(
-        self, n_nodes: int, backfill_depth: int = 100, offline_nodes: int = 0
+        self,
+        n_nodes: int,
+        backfill_depth: int = 100,
+        offline_nodes: int = 0,
+        fault_config: FaultConfig | None = None,
     ) -> None:
         if backfill_depth < 0:
             raise SchedulingError("backfill_depth must be non-negative")
@@ -178,6 +193,7 @@ class BackfillScheduler:
         self.n_nodes = n_nodes
         self.backfill_depth = backfill_depth
         self.offline_nodes = offline_nodes
+        self.fault_config = fault_config
 
     # -- public API ---------------------------------------------------------
 
@@ -205,27 +221,66 @@ class BackfillScheduler:
         running: dict[int, _Running] = {}
         records: list[JobRecord] = []
         trace = TraceBuilder(t_start_s)
+        jobs_by_id = {job.job_id: job for job in jobs}
 
+        n_jobs = 0
         for job in sorted(jobs, key=lambda j: j.submit_time_s):
             if job.submit_time_s < t_end_s:
                 queue.push(Event(job.submit_time_s, EventKind.JOB_SUBMIT, job))
+                n_jobs += 1
         queue.push(Event(t_end_s, EventKind.SIM_END))
 
         busy_power_w = 0.0
+        n_completed = 0
+
+        # Fault-injection state. The fault RNG is only ever drawn when a
+        # FaultConfig is supplied, so fault-free runs stay byte-identical
+        # to the pre-fault scheduler.
+        faults = self.fault_config
+        fault_rng = np.random.default_rng(faults.seed) if faults else None
+        fault_gen = 0
+        drained_integral = 0.0
+        last_drain_change_s = t_start_s
+        attempts: dict[int, int] = {}
+        pending_release = 0
+        n_failures = 0
+        n_job_kills = 0
+        n_retries = 0
+        n_failed_terminal = 0
+        wasted_node_seconds = 0.0
+        wasted_energy_j = 0.0
 
         def record_trace(t: float) -> None:
             trace.append(t, busy_power_w, pool.busy)
+
+        def integrate_drain(now: float) -> None:
+            nonlocal drained_integral, last_drain_change_s
+            drained_integral += pool.drained * (now - last_drain_change_s)
+            last_drain_change_s = now
+
+        def schedule_next_failure(now: float) -> None:
+            """Resample the fleet's next failure (memoryless, so exact)."""
+            nonlocal fault_gen
+            assert faults is not None and fault_rng is not None
+            fault_gen += 1
+            up = pool.up_nodes
+            if up <= 0:
+                return
+            t = now + float(fault_rng.exponential(faults.mtbf_s / up))
+            if t < t_end_s:
+                queue.push(Event(t, EventKind.NODE_FAIL, fault_gen))
 
         def start_job(job: Job, now: float) -> None:
             nonlocal busy_power_w
             resolved = environment.resolve(job, now)
             pool.allocate(job.n_nodes)
             end_s = now + resolved.runtime_s
-            running[job.job_id] = _Running(job, now, end_s, resolved)
+            attempt = attempts.get(job.job_id, 0)
+            running[job.job_id] = _Running(job, now, end_s, resolved, attempt)
             busy_power_w += resolved.node_power_w * job.n_nodes
             record_trace(now)
             if end_s <= t_end_s:
-                queue.push(Event(end_s, EventKind.JOB_END, job.job_id))
+                queue.push(Event(end_s, EventKind.JOB_END, (job.job_id, attempt)))
 
         def schedule_pass(now: float) -> None:
             # FCFS phase: start queue heads while they fit.
@@ -235,7 +290,14 @@ class BackfillScheduler:
                 return
             # EASY backfill phase: reserve for the head, fill around it.
             head = waiting[0]
-            shadow_s, spare = self._reservation(head, pool, running, now)
+            try:
+                shadow_s, spare = self._reservation(head, pool, running, now)
+            except SchedulingError:
+                if faults is None:
+                    raise
+                # Drained capacity can temporarily block a head that passed
+                # admission; let backfill run freely until a repair lands.
+                shadow_s, spare = float("inf"), 0
             depth = 0
             idx = 1
             items = list(waiting)
@@ -260,9 +322,13 @@ class BackfillScheduler:
                 waiting.clear()
                 waiting.extend(remaining)
 
-        def end_job(job_id: int, now: float) -> None:
-            nonlocal busy_power_w
-            run = running.pop(job_id)
+        def end_job(payload: Any, now: float) -> None:
+            nonlocal busy_power_w, n_completed
+            job_id, attempt = payload if isinstance(payload, tuple) else (payload, 0)
+            run = running.get(job_id)
+            if run is None or run.attempt != attempt:
+                return  # stale end event from an attempt killed by a failure
+            del running[job_id]
             pool.release(run.job.n_nodes)
             busy_power_w -= run.resolved.node_power_w * run.job.n_nodes
             if abs(busy_power_w) < 1e-6:
@@ -278,8 +344,82 @@ class BackfillScheduler:
                     node_power_w=run.resolved.node_power_w,
                 )
             )
+            n_completed += 1
+
+        def kill_victim(run: _Running, now: float) -> None:
+            """A node failure hit this job: charge the burn, requeue or drop."""
+            nonlocal busy_power_w, n_job_kills, n_retries, n_failed_terminal
+            nonlocal wasted_node_seconds, wasted_energy_j
+            assert faults is not None and fault_rng is not None
+            job = run.job
+            del running[job.job_id]
+            pool.release(job.n_nodes)
+            busy_power_w -= run.resolved.node_power_w * job.n_nodes
+            if abs(busy_power_w) < 1e-6:
+                busy_power_w = 0.0
+            record_trace(now)
+            if now > run.start_s:
+                records.append(
+                    JobRecord(
+                        job=job,
+                        start_time_s=run.start_s,
+                        end_time_s=now,
+                        setting=run.resolved.setting,
+                        effective_ghz=run.resolved.effective_ghz,
+                        node_power_w=run.resolved.node_power_w,
+                        interrupted=True,
+                    )
+                )
+                burned = job.n_nodes * (now - run.start_s)
+                wasted_node_seconds += burned
+                wasted_energy_j += run.resolved.node_power_w * burned
+            n_job_kills += 1
+            attempt = attempts.get(job.job_id, 0) + 1
+            attempts[job.job_id] = attempt
+            if attempt > faults.max_retries:
+                n_failed_terminal += 1
+                return
+            n_retries += 1
+            delay = faults.backoff_s(attempt, float(fault_rng.random()))
+            queue.push(Event(now + delay, EventKind.JOB_RELEASE, job.job_id))
+            nonlocal pending_release
+            pending_release += 1
+
+        def on_node_fail(generation: int, now: float) -> None:
+            nonlocal n_failures
+            assert faults is not None and fault_rng is not None
+            if generation != fault_gen:
+                return  # stale: the fleet's rates changed since this was drawn
+            up = pool.up_nodes
+            if up <= 0:
+                return
+            n_failures += 1
+            # One uniform draw picks the failed node *and* the victim: a
+            # position in [0, up) lands either inside the busy prefix
+            # (cumulative widths over job-id order) or in the idle tail.
+            position = float(fault_rng.random()) * up
+            if position < pool.busy:
+                cumulative = 0
+                for run in sorted(running.values(), key=lambda r: r.job.job_id):
+                    cumulative += run.job.n_nodes
+                    if position < cumulative:
+                        kill_victim(run, now)
+                        break
+            integrate_drain(now)
+            pool.drain(1)
+            repair_t = now + float(fault_rng.exponential(faults.mttr_s))
+            if repair_t < t_end_s:
+                queue.push(Event(repair_t, EventKind.NODE_REPAIR))
+            schedule_next_failure(now)
+
+        def on_node_repair(now: float) -> None:
+            integrate_drain(now)
+            pool.restore(1)
+            schedule_next_failure(now)
 
         record_trace(t_start_s)
+        if faults is not None:
+            schedule_next_failure(t_start_s)
         while queue:
             event = queue.pop()
             now = event.time_s
@@ -289,6 +429,13 @@ class BackfillScheduler:
                 waiting.append(event.payload)
             elif event.kind is EventKind.JOB_END:
                 end_job(event.payload, now)
+            elif event.kind is EventKind.JOB_RELEASE:
+                pending_release -= 1
+                waiting.append(jobs_by_id[event.payload])
+            elif event.kind is EventKind.NODE_FAIL:
+                on_node_fail(event.payload, now)
+            elif event.kind is EventKind.NODE_REPAIR:
+                on_node_repair(now)
             schedule_pass(now)
 
         # Truncate still-running jobs at the horizon.
@@ -303,14 +450,27 @@ class BackfillScheduler:
                     node_power_w=run.resolved.node_power_w,
                 )
             )
+        integrate_drain(t_end_s)
 
         return SimulationResult(
             n_nodes=self.n_nodes,
             t_start_s=t_start_s,
             t_end_s=t_end_s,
             records=records,
-            n_unstarted=len(waiting),
+            n_unstarted=len(waiting) + pending_release,
             trace=trace.build(t_end_s),
+            n_jobs=n_jobs,
+            n_completed=n_completed,
+            n_running_at_end=len(running),
+            faults=FaultAccounting(
+                n_failures=n_failures,
+                n_job_kills=n_job_kills,
+                n_retries=n_retries,
+                n_failed_terminal=n_failed_terminal,
+                wasted_node_seconds=wasted_node_seconds,
+                wasted_energy_j=wasted_energy_j,
+                drained_node_seconds=drained_integral,
+            ),
         )
 
     # -- internals -----------------------------------------------------------

@@ -9,23 +9,33 @@ the CI pipeline diffs two invocations to enforce exactly that.
 
 ``--check`` turns the paper-level expectations into exit-code gates:
 malleable emissions strictly below rigid, and the job-conservation
-identity (jobs in == completed + running + queued).
+identity (jobs in == completed + failed + running + queued).
+
+``--inject-faults`` layers a seeded two-state node failure process on both
+schedulers (kills, requeues, wasted node-hours), and
+``--inject-feed-outages`` additionally degrades the malleable scheduler's
+forecast feed. Under ``--check`` with faults on, the gates extend to the
+full conservation identities (delivered + wasted node-hours reconcile
+against the trace) and a mid-simulation kill/resume byte-identity replay.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
 
+from ..facility.failures import FailureModel, FaultConfig
 from ..grid.carbon_intensity import SCENARIOS, CarbonIntensityModel
+from ..grid.forecast import ForecastFeed, ForecastIndex, sample_feed_outages
 from ..node import build_node_model
 from ..units import SECONDS_PER_DAY
 from ..workload.generator import JobStreamConfig, JobStreamGenerator
 from ..workload.mix import archer2_mix
 from .backfill import StaticEnvironment
-from .malleable import compare_rigid_malleable
+from .malleable import MalleableScheduler, compare_rigid_malleable
 
 __all__ = ["build_sched_parser", "sched_main"]
 
@@ -87,10 +97,53 @@ def build_sched_parser(prog: str = "repro sched") -> argparse.ArgumentParser:
         help="high CI regime boundary, gCO2/kWh",
     )
     parser.add_argument(
+        "--inject-faults",
+        action="store_true",
+        help="inject seeded node failures (kills, requeue, wasted hours)",
+    )
+    parser.add_argument(
+        "--mtbf-hours",
+        type=float,
+        default=4380.0,
+        help="per-node mean time between failures, hours",
+    )
+    parser.add_argument(
+        "--mttr-hours",
+        type=float,
+        default=12.0,
+        help="per-node mean time to repair, hours",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=3,
+        help="requeue budget before a killed job fails terminally",
+    )
+    parser.add_argument(
+        "--ckpt-minutes",
+        type=float,
+        default=0.0,
+        help="checkpoint cadence for killed-job restart, minutes (0 = restart "
+        "from scratch)",
+    )
+    parser.add_argument(
+        "--inject-feed-outages",
+        action="store_true",
+        help="inject seeded forecast-feed outages (malleable degrades to "
+        "rigid placement while stale)",
+    )
+    parser.add_argument(
+        "--stale-after-hours",
+        type=float,
+        default=2.0,
+        help="forecast staleness beyond which malleable degrades, hours",
+    )
+    parser.add_argument(
         "--check",
         action="store_true",
         help="exit non-zero unless malleable beats rigid emissions and the "
-        "job-conservation identity holds",
+        "conservation identities hold (with faults on, also replays a "
+        "mid-simulation kill/resume and requires byte-identity)",
     )
     return parser
 
@@ -119,6 +172,24 @@ def sched_main(argv: list[str], prog: str = "repro sched") -> int:
     ci_model = CarbonIntensityModel.from_scenario(args.scenario)
     ci = ci_model.series(0.0, t_end_s + SECONDS_PER_DAY, 1800.0, rng)
 
+    fault_config = None
+    if args.inject_faults:
+        fault_config = FaultConfig(
+            model=FailureModel(
+                mtbf_hours=args.mtbf_hours, mttr_hours=args.mttr_hours
+            ),
+            seed=args.seed,
+            max_retries=args.max_retries,
+            checkpoint_interval_s=args.ckpt_minutes * 60.0,
+        )
+    feed = None
+    if args.inject_feed_outages:
+        outage_rng = np.random.default_rng(args.seed + 1)
+        feed = ForecastFeed(
+            ForecastIndex(ci),
+            outages=sample_feed_outages(t_end_s, outage_rng),
+        )
+
     environment = StaticEnvironment(node_model=build_node_model())
     comparison = compare_rigid_malleable(
         jobs,
@@ -130,6 +201,9 @@ def sched_main(argv: list[str], prog: str = "repro sched") -> int:
         low_g_per_kwh=args.low,
         high_g_per_kwh=args.high,
         seed=args.seed,
+        fault_config=fault_config,
+        feed=feed,
+        stale_after_s=args.stale_after_hours * 3600.0,
     )
     rigid, malleable = comparison.rigid, comparison.malleable
 
@@ -193,20 +267,83 @@ def sched_main(argv: list[str], prog: str = "repro sched") -> int:
         f"(stretch penalty {comparison.stretch_penalty:+.3f})"
     )
 
+    if fault_config is not None:
+        print()
+        print(
+            f"faults (MTBF {args.mtbf_hours:g} h, MTTR {args.mttr_hours:g} h, "
+            f"seed {fault_config.seed}):"
+        )
+        for label, acct in (("rigid", rigid.faults), ("malleable", malleable.faults)):
+            print(
+                f"  {label:<10} {acct.n_failures} node failures, "
+                f"{acct.n_job_kills} job kills, {acct.n_retries} retries, "
+                f"{acct.n_failed_terminal} terminal, "
+                f"{acct.wasted_node_hours:.1f} wasted node-h "
+                f"({acct.wasted_energy_kwh:.0f} kWh), "
+                f"{acct.drained_node_hours:.1f} drained node-h"
+            )
+    if feed is not None:
+        print(
+            f"feed outages: {len(feed.outages)} injected, malleable saw "
+            f"{malleable.faults.n_degraded_ticks} degraded ticks, "
+            f"{malleable.faults.n_degraded_starts} degraded starts"
+        )
+
     if args.check:
         failures = []
-        if not comparison.malleable_tco2e < comparison.rigid_tco2e:
+        if fault_config is None and not (
+            comparison.malleable_tco2e < comparison.rigid_tco2e
+        ):
             failures.append(
                 "malleable emissions not strictly below rigid "
                 f"({comparison.malleable_tco2e:.6f} vs {comparison.rigid_tco2e:.6f})"
             )
+        if not rigid.reconciles():
+            failures.append(
+                "rigid conservation violated: jobs or node-hour identity broke"
+            )
         if not malleable.reconciles():
             failures.append(
-                "job conservation violated: "
+                "malleable conservation violated: "
                 f"{malleable.n_jobs} in != {malleable.n_completed} completed "
+                f"+ {malleable.faults.n_failed_terminal} failed "
                 f"+ {malleable.n_running_at_end} running "
-                f"+ {malleable.n_queued_at_end} queued"
+                f"+ {malleable.n_queued_at_end} queued, or node-hour "
+                "identity broke"
             )
+        if fault_config is not None:
+            scheduler = MalleableScheduler(
+                args.nodes,
+                environment,
+                ci,
+                carbon_tick_interval_s=args.tick_minutes * 60.0,
+                low_g_per_kwh=args.low,
+                high_g_per_kwh=args.high,
+                seed=args.seed,
+                fault_config=fault_config,
+                feed=feed,
+                stale_after_s=args.stale_after_hours * 3600.0,
+            )
+            sim = scheduler.simulation(jobs, t_end_s)
+            for _ in range(max(1, (malleable.n_jobs * 3) // 2)):
+                if not sim.step():
+                    break
+            snapshot = json.loads(json.dumps(sim.state_dict()))
+            resumed = scheduler.simulation(jobs, t_end_s)
+            resumed.load_state_dict(snapshot)
+            replay = resumed.run_to_completion()
+            identical = (
+                replay.records == malleable.records
+                and replay.faults == malleable.faults
+                and replay.trace.times_s.tobytes()
+                == malleable.trace.times_s.tobytes()
+                and replay.trace.busy_power_w.tobytes()
+                == malleable.trace.busy_power_w.tobytes()
+            )
+            if not identical:
+                failures.append(
+                    "kill/resume replay under faults not byte-identical"
+                )
         for failure in failures:
             print(f"CHECK FAILED: {failure}", file=sys.stderr)
         if failures:

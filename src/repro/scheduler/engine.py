@@ -26,6 +26,8 @@ class EventKind(enum.Enum):
     JOB_END = "job_end"
     JOB_RELEASE = "job_release"
     CARBON_TICK = "carbon_tick"
+    NODE_FAIL = "node_fail"
+    NODE_REPAIR = "node_repair"
     SIM_END = "sim_end"
     MARKER = "marker"
 

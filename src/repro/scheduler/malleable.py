@@ -35,17 +35,25 @@ substrate does not import the core layer, which imports it back).
 
 from __future__ import annotations
 
+import math
 from collections import deque
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from ..errors import SchedulingError
-from ..grid.forecast import ForecastIndex
+from ..facility.failures import FaultConfig
+from ..grid.forecast import ForecastFeed, ForecastIndex
 from ..telemetry.series import TimeSeries
 from ..units import JOULES_PER_KWH
 from ..workload.jobs import Job
-from .accounting import PowerTrace, SimulationResult, TraceBuilder, trace_emissions_tco2e
+from .accounting import (
+    FaultAccounting,
+    PowerTrace,
+    SimulationResult,
+    TraceBuilder,
+    trace_emissions_tco2e,
+)
 from .backfill import BackfillScheduler, ResolvedExecution, StaticEnvironment, validate_jobs
 from .engine import Event, EventKind, EventQueue
 from .partition import NodePool
@@ -115,6 +123,7 @@ class ElasticRecord:
     node_seconds: float
     energy_j: float
     truncated: bool
+    interrupted: bool = False
 
     @property
     def runtime_s(self) -> float:
@@ -138,6 +147,7 @@ def _record_to_list(record: ElasticRecord) -> list:
         record.node_seconds,
         record.energy_j,
         record.truncated,
+        record.interrupted,
     ]
 
 
@@ -152,6 +162,7 @@ def _record_from_list(raw: list) -> ElasticRecord:
         node_seconds=float(raw[6]),
         energy_j=float(raw[7]),
         truncated=bool(raw[8]),
+        interrupted=bool(raw[9]) if len(raw) > 9 else False,
     )
 
 
@@ -223,12 +234,42 @@ class MalleableSimulationResult:
     n_shrinks: int
     n_grows: int
     trace: PowerTrace
+    faults: FaultAccounting = field(default_factory=FaultAccounting)
 
-    def reconciles(self) -> bool:
-        """Job-conservation identity: in == completed + running + queued."""
-        return self.n_jobs == (
-            self.n_completed + self.n_running_at_end + self.n_queued_at_end
+    def reconciles(self, rel_tol: float = 1e-6) -> bool:
+        """Conservation identities of the run.
+
+        Job conservation — submitted == completed + terminally-failed +
+        running-at-horizon + still-queued — plus node-hour conservation:
+        the trace's busy integral must equal delivered plus wasted record
+        node-seconds, the wasted column must match the interrupted records,
+        and busy plus drained capacity must fit inside the facility's
+        node-seconds over the span. Float identities use a relative
+        tolerance (both sides sum the same rectangle areas in different
+        groupings).
+        """
+        jobs_ok = self.n_jobs == (
+            self.n_completed
+            + self.faults.n_failed_terminal
+            + self.n_running_at_end
+            + self.n_queued_at_end
         )
+        delivered = sum(r.node_seconds for r in self.records if not r.interrupted)
+        wasted = sum(r.node_seconds for r in self.records if r.interrupted)
+        busy = self.trace.node_seconds()
+        span = self.t_end_s - self.t_start_s
+        abs_tol = 1e-6 * max(1.0, span)
+        hours_ok = math.isclose(
+            delivered + wasted, busy, rel_tol=rel_tol, abs_tol=abs_tol
+        )
+        wasted_ok = math.isclose(
+            wasted, self.faults.wasted_node_seconds, rel_tol=rel_tol, abs_tol=abs_tol
+        )
+        capacity = self.n_nodes * span
+        capacity_ok = (
+            busy + self.faults.drained_node_seconds <= capacity * (1 + rel_tol) + abs_tol
+        )
+        return jobs_ok and hours_ok and wasted_ok and capacity_ok
 
     def total_energy_kwh(self) -> float:
         """Busy-node energy integrated over the span, kWh."""
@@ -243,10 +284,11 @@ class MalleableSimulationResult:
         return self.trace.mean_busy_nodes() / self.n_nodes
 
     def _stretches(self, tau_s: float) -> np.ndarray:
-        if not self.records:
+        completed = [r for r in self.records if not r.interrupted]
+        if not completed:
             return np.empty(0, dtype=float)
-        waits_s = np.array([r.wait_s for r in self.records], dtype=float)
-        runs_s = np.array([r.runtime_s for r in self.records], dtype=float)
+        waits_s = np.array([r.wait_s for r in completed], dtype=float)
+        runs_s = np.array([r.runtime_s for r in completed], dtype=float)
         return np.maximum(1.0, (waits_s + runs_s) / np.maximum(runs_s, tau_s))
 
     def mean_bounded_stretch(self, tau_s: float = 600.0) -> float:
@@ -310,6 +352,26 @@ class MalleableSimulation:
         self.n_shrinks = 0
         self.n_grows = 0
 
+        # Fault-injection state. The fault RNG is a *separate* seeded
+        # stream, never drawn when faults are off, so fault-free runs stay
+        # byte-identical to the pre-fault scheduler.
+        faults = scheduler.fault_config
+        self._fault_rng = np.random.default_rng(faults.seed) if faults else None
+        self._fault_gen = 0
+        self._drained_integral = 0.0
+        self._last_drain_change_s = t_start_s
+        self._attempts: dict[int, int] = {}
+        self._retained: dict[int, float] = {}
+        self._next_gen: dict[int, int] = {}
+        self._n_failures = 0
+        self._n_job_kills = 0
+        self._n_retries = 0
+        self._n_failed_terminal = 0
+        self._wasted_node_seconds = 0.0
+        self._wasted_energy_j = 0.0
+        self._n_degraded_ticks = 0
+        self._n_degraded_starts = 0
+
         for job in sorted(jobs, key=lambda j: (j.submit_time_s, j.job_id)):
             if job.submit_time_s < t_end_s:
                 self._queue.push(
@@ -321,6 +383,8 @@ class MalleableSimulation:
         first_tick_s = t_start_s + scheduler.carbon_tick_interval_s
         if first_tick_s < t_end_s:
             self._queue.push(Event(first_tick_s, EventKind.CARBON_TICK))
+        if faults is not None:
+            self._schedule_next_failure(t_start_s)
         self._record_trace(t_start_s)
 
     # -- event handling ------------------------------------------------------
@@ -344,30 +408,173 @@ class MalleableSimulation:
         remaining = max(0.0, 1.0 - run.progress)
         return run.last_update_s + remaining / rate
 
-    def _choose_alloc(self, shape: JobShape, ci_g_per_kwh: float) -> int:
+    # -- fault injection -----------------------------------------------------
+
+    def _integrate_drain(self, now_s: float) -> None:
+        """Accumulate drained node-seconds up to ``now_s`` (call before changes)."""
+        self._drained_integral += self._pool.drained * (
+            now_s - self._last_drain_change_s
+        )
+        self._last_drain_change_s = now_s
+
+    def _schedule_next_failure(self, now_s: float) -> None:
+        """Resample the fleet's next failure (exponentials are memoryless).
+
+        Bumping the generation invalidates any pending NODE_FAIL event —
+        the fleet's failure rate changed, so the old draw is stale.
+        """
+        faults = self.scheduler.fault_config
+        assert faults is not None and self._fault_rng is not None
+        self._fault_gen += 1
+        up = self._pool.up_nodes
+        if up <= 0:
+            return
+        t = now_s + float(self._fault_rng.exponential(faults.mtbf_s / up))
+        if t < self.t_end_s:
+            self._queue.push(Event(t, EventKind.NODE_FAIL, self._fault_gen))
+
+    def _kill_run(self, run: _ElasticRun, now_s: float) -> None:
+        """A node failure hit this job: charge the burn, requeue or drop."""
+        faults = self.scheduler.fault_config
+        assert faults is not None and self._fault_rng is not None
+        self._advance(run, now_s)
+        job = self._jobs[run.job_id]
+        self._records.append(
+            ElasticRecord(
+                job_id=run.job_id,
+                submit_time_s=job.submit_time_s,
+                start_time_s=run.start_s,
+                end_time_s=now_s,
+                setting=run.setting,
+                effective_ghz=run.effective_ghz,
+                node_seconds=run.node_seconds,
+                energy_j=run.node_power_w * run.node_seconds,
+                truncated=False,
+                interrupted=True,
+            )
+        )
+        # The whole attempt's burn is charged as wasted: the restart's own
+        # occupancy is accounted by its own record, and checkpoint retention
+        # shows up as *less* re-execution, not as reclaimed burn.
+        self._wasted_node_seconds += run.node_seconds
+        self._wasted_energy_j += run.node_power_w * run.node_seconds
+        del self._running[run.job_id]
+        self._pool.release(run.alloc)
+        self._busy_power_w -= run.node_power_w * run.alloc
+        if abs(self._busy_power_w) < 1e-6:
+            self._busy_power_w = 0.0
+        self._record_trace(now_s)
+        # End events of this attempt (generations <= current) must never
+        # finish a requeued attempt, so the next attempt starts above them.
+        self._next_gen[run.job_id] = run.generation + 1
+        if faults.checkpoint_interval_s > 0:
+            ckpt_frac = faults.checkpoint_interval_s / run.preferred_runtime_s
+            overhead_frac = faults.checkpoint_overhead_s / run.preferred_runtime_s
+            kept = math.floor(run.progress / ckpt_frac) * ckpt_frac - overhead_frac
+            if kept > 0.0:
+                self._retained[run.job_id] = min(kept, run.progress)
+        self._n_job_kills += 1
+        attempt = self._attempts.get(run.job_id, 0) + 1
+        self._attempts[run.job_id] = attempt
+        if attempt > faults.max_retries:
+            self._n_failed_terminal += 1
+            self._retained.pop(run.job_id, None)
+            return
+        self._n_retries += 1
+        delay = faults.backoff_s(attempt, float(self._fault_rng.random()))
+        self._queue.push(Event(now_s + delay, EventKind.JOB_RELEASE, run.job_id))
+        self._n_pending_release += 1
+
+    def _on_node_fail(self, generation: int, now_s: float) -> None:
+        if generation != self._fault_gen:
+            return  # stale: the fleet's rates changed since this was drawn
+        faults = self.scheduler.fault_config
+        assert faults is not None and self._fault_rng is not None
+        up = self._pool.up_nodes
+        if up <= 0:
+            return
+        self._n_failures += 1
+        # One uniform draw picks the failed node *and* the victim: a
+        # position in [0, up) lands either inside the busy prefix
+        # (cumulative allocations in job-id order) or in the idle tail.
+        position = float(self._fault_rng.random()) * up
+        if position < self._pool.busy:
+            cumulative = 0
+            for run in sorted(self._running.values(), key=lambda r: r.job_id):
+                cumulative += run.alloc
+                if position < cumulative:
+                    self._kill_run(run, now_s)
+                    break
+        self._integrate_drain(now_s)
+        self._pool.drain(1)
+        repair_t = now_s + float(self._fault_rng.exponential(faults.mttr_s))
+        if repair_t < self.t_end_s:
+            self._queue.push(Event(repair_t, EventKind.NODE_REPAIR))
+        self._schedule_next_failure(now_s)
+
+    def _on_node_repair(self, now_s: float) -> None:
+        self._integrate_drain(now_s)
+        self._pool.restore(1)
+        self._schedule_next_failure(now_s)
+
+    # -- forecast-feed degradation --------------------------------------------
+
+    def _planning_ci(self, now_s: float) -> float:
+        """The CI the scheduler *sees*: held at the feed's last refresh."""
+        feed = self.scheduler.feed
+        if feed is None:
+            return self.scheduler.forecast.ci_at(now_s)
+        return feed.ci_at(now_s)
+
+    def _degraded(self, now_s: float) -> bool:
+        """Whether feed staleness has passed the degradation threshold."""
+        feed = self.scheduler.feed
+        return feed is not None and feed.is_stale(now_s, self.scheduler.stale_after_s)
+
+    def _choose_alloc(
+        self, shape: JobShape, ci_g_per_kwh: float, degraded: bool = False
+    ) -> int:
         """Target allocation under the current carbon regime.
 
-        High-carbon periods get the narrowest legal shape; otherwise the
-        preferred one, capped at the pool so an oversize preference still
-        admits (validation guarantees the minimum fits).
+        High-carbon periods get the narrowest legal shape; otherwise — and
+        always when the forecast feed is too stale to trust (``degraded``,
+        the rigid-placement fallback) — the preferred one, capped at the
+        in-service pool so an oversize preference still admits (validation
+        guarantees the minimum fits a healthy machine).
         """
-        if ci_g_per_kwh > self.scheduler.high_g_per_kwh:
+        if not degraded and ci_g_per_kwh > self.scheduler.high_g_per_kwh:
             target = shape.min_nodes
         else:
             target = shape.preferred_nodes
-        return max(shape.min_nodes, min(target, self._pool.n_nodes))
+        return max(shape.min_nodes, min(target, self._pool.up_nodes))
 
-    def _start_job(self, job: Job, alloc: int, now_s: float, ci_g_per_kwh: float) -> None:
-        resolved = self.scheduler.environment.resolve_at_ci(job, now_s, ci_g_per_kwh)
+    def _start_job(
+        self,
+        job: Job,
+        alloc: int,
+        now_s: float,
+        ci_g_per_kwh: float,
+        degraded: bool = False,
+    ) -> None:
+        if degraded:
+            # Feed too stale to trust: static frequency policy (carbon-blind).
+            resolved = self.scheduler.environment.resolve(job, now_s)
+            self._n_degraded_starts += 1
+        else:
+            resolved = self.scheduler.environment.resolve_at_ci(
+                job, now_s, ci_g_per_kwh
+            )
         shape = self._shapes[job.job_id]
         self._pool.allocate(alloc)
         self._busy_power_w += resolved.node_power_w * alloc
+        progress0 = self._retained.pop(job.job_id, 0.0)
+        generation0 = self._next_gen.get(job.job_id, 0)
         run = _ElasticRun(
             job_id=job.job_id,
             alloc=alloc,
-            progress=0.0,
+            progress=progress0,
             last_update_s=now_s,
-            generation=0,
+            generation=generation0,
             start_s=now_s,
             preferred_runtime_s=resolved.runtime_s,
             node_power_w=resolved.node_power_w,
@@ -378,9 +585,11 @@ class MalleableSimulation:
         )
         self._running[job.job_id] = run
         self._record_trace(now_s)
-        end_s = now_s + resolved.runtime_s * shape.stretch(alloc)
+        end_s = now_s + resolved.runtime_s * shape.stretch(alloc) * (1.0 - progress0)
         if end_s <= self.t_end_s:
-            self._queue.push(Event(end_s, EventKind.JOB_END, (job.job_id, 0)))
+            self._queue.push(
+                Event(end_s, EventKind.JOB_END, (job.job_id, generation0))
+            )
 
     def _reallocate(self, run: _ElasticRun, new_alloc: int, now_s: float) -> None:
         self._advance(run, now_s)
@@ -424,7 +633,7 @@ class MalleableSimulation:
         self._n_submits_remaining -= 1
         index = self.scheduler.forecast
         latest_s = min(now_s + job.shift_slack_s, self.t_end_s)
-        if job.shift_slack_s > 0 and latest_s > now_s:
+        if job.shift_slack_s > 0 and latest_s > now_s and not self._degraded(now_s):
             duration_s = job.reference_runtime_s
             window = index.greenest_window(duration_s, now_s, latest_s)
             now_mean = index.window_mean(now_s, now_s + duration_s)
@@ -460,13 +669,19 @@ class MalleableSimulation:
 
     def _on_tick(self, now_s: float) -> None:
         sched = self.scheduler
-        ci = sched.forecast.ci_at(now_s)
-        if ci > sched.high_g_per_kwh:
+        degraded = self._degraded(now_s)
+        if degraded:
+            self._n_degraded_ticks += 1
+        ci = self._planning_ci(now_s)
+        if not degraded and ci > sched.high_g_per_kwh:
             for run in self._reshape_order():
                 shape = self._shapes[run.job_id]
                 if shape.is_elastic and run.alloc > shape.min_nodes:
                     self._reallocate(run, shape.min_nodes, now_s)
         else:
+            # Degraded ticks fall back to rigid intent: grow every elastic
+            # job back toward its preferred shape (also the clean-recovery
+            # path once the feed returns).
             for run in self._reshape_order():
                 shape = self._shapes[run.job_id]
                 if not shape.is_elastic or run.alloc >= shape.preferred_nodes:
@@ -497,29 +712,34 @@ class MalleableSimulation:
             available += run.alloc
             if available >= need:
                 return self._end_estimate_s(run), available - need
+        if self.scheduler.fault_config is not None:
+            # Drained capacity can temporarily block a head that passed
+            # admission; let backfill run freely until a repair lands.
+            return float("inf"), 0
         raise SchedulingError(
             f"job needing {need} nodes can never be scheduled on "
             f"{self._pool.n_nodes} nodes"
         )
 
     def _schedule_pass(self, now_s: float) -> None:
-        ci = self.scheduler.forecast.ci_at(now_s)
+        degraded = self._degraded(now_s)
+        ci = self._planning_ci(now_s)
         # FCFS phase with moldable squeeze: the head starts at its regime
         # target, narrowed toward its minimum shape if that is what fits.
         while self._waiting:
             shape = self._shapes[self._waiting[0]]
-            alloc = self._choose_alloc(shape, ci)
+            alloc = self._choose_alloc(shape, ci, degraded)
             if not self._pool.fits(alloc):
                 alloc = min(alloc, self._pool.free)
                 if alloc < shape.min_nodes:
                     break
             job = self._jobs[self._waiting.popleft()]
-            self._start_job(job, alloc, now_s, ci)
+            self._start_job(job, alloc, now_s, ci, degraded)
         if not self._waiting:
             return
         # EASY backfill phase: reserve for the head, fill around it.
         head_shape = self._shapes[self._waiting[0]]
-        head_need = self._choose_alloc(head_shape, ci)
+        head_need = self._choose_alloc(head_shape, ci, degraded)
         shadow_s, spare = self._reservation(head_need, now_s)
         started: set[int] = set()
         depth = 0
@@ -529,18 +749,21 @@ class MalleableSimulation:
                 break
             depth += 1
             shape = self._shapes[job_id]
-            alloc = self._choose_alloc(shape, ci)
+            alloc = self._choose_alloc(shape, ci, degraded)
             if not self._pool.fits(alloc):
                 alloc = min(alloc, self._pool.free)
                 if alloc < shape.min_nodes:
                     continue
             job = self._jobs[job_id]
-            resolved = self.scheduler.environment.resolve_at_ci(job, now_s, ci)
+            if degraded:
+                resolved = self.scheduler.environment.resolve(job, now_s)
+            else:
+                resolved = self.scheduler.environment.resolve_at_ci(job, now_s, ci)
             runtime_s = resolved.runtime_s * shape.stretch(alloc)
             ends_before_shadow = now_s + runtime_s <= shadow_s
             within_spare = alloc <= spare
             if ends_before_shadow or within_spare:
-                self._start_job(job, alloc, now_s, ci)
+                self._start_job(job, alloc, now_s, ci, degraded)
                 if within_spare and not ends_before_shadow:
                     spare -= alloc
                 started.add(job_id)
@@ -552,6 +775,7 @@ class MalleableSimulation:
     def _finalize(self) -> None:
         for run in sorted(self._running.values(), key=lambda r: r.job_id):
             self._finish_run(run, self.t_end_s, truncated=True)
+        self._integrate_drain(self.t_end_s)
         self._done = True
 
     # -- driving -------------------------------------------------------------
@@ -579,6 +803,10 @@ class MalleableSimulation:
             self._on_end(event.payload, now_s)
         elif event.kind is EventKind.CARBON_TICK:
             self._on_tick(now_s)
+        elif event.kind is EventKind.NODE_FAIL:
+            self._on_node_fail(event.payload, now_s)
+        elif event.kind is EventKind.NODE_REPAIR:
+            self._on_node_repair(now_s)
         self._schedule_pass(now_s)
         return True
 
@@ -605,6 +833,17 @@ class MalleableSimulation:
             n_shrinks=self.n_shrinks,
             n_grows=self.n_grows,
             trace=self._trace.build(self.t_end_s),
+            faults=FaultAccounting(
+                n_failures=self._n_failures,
+                n_job_kills=self._n_job_kills,
+                n_retries=self._n_retries,
+                n_failed_terminal=self._n_failed_terminal,
+                wasted_node_seconds=self._wasted_node_seconds,
+                wasted_energy_j=self._wasted_energy_j,
+                drained_node_seconds=self._drained_integral,
+                n_degraded_ticks=self._n_degraded_ticks,
+                n_degraded_starts=self._n_degraded_starts,
+            ),
         )
 
     # -- checkpointing -------------------------------------------------------
@@ -632,6 +871,28 @@ class MalleableSimulation:
             "n_shifted": self.n_shifted,
             "n_shrinks": self.n_shrinks,
             "n_grows": self.n_grows,
+            # Fault-injection state (inert all-defaults when faults are off).
+            # Integer-keyed maps are stored as sorted pair lists: JSON would
+            # silently stringify dict keys, breaking resume determinism.
+            "fault_rng": (
+                self._fault_rng.bit_generator.state
+                if self._fault_rng is not None
+                else None
+            ),
+            "fault_gen": self._fault_gen,
+            "drained_integral": self._drained_integral,
+            "last_drain_change_s": self._last_drain_change_s,
+            "attempts": sorted(self._attempts.items()),
+            "retained": sorted(self._retained.items()),
+            "next_gen": sorted(self._next_gen.items()),
+            "n_failures": self._n_failures,
+            "n_job_kills": self._n_job_kills,
+            "n_retries": self._n_retries,
+            "n_failed_terminal": self._n_failed_terminal,
+            "wasted_node_seconds": self._wasted_node_seconds,
+            "wasted_energy_j": self._wasted_energy_j,
+            "n_degraded_ticks": self._n_degraded_ticks,
+            "n_degraded_starts": self._n_degraded_starts,
         }
 
     def load_state_dict(self, state: dict) -> None:
@@ -655,6 +916,30 @@ class MalleableSimulation:
         self.n_shifted = int(state["n_shifted"])
         self.n_shrinks = int(state["n_shrinks"])
         self.n_grows = int(state["n_grows"])
+        fault_rng_state = state.get("fault_rng")
+        if fault_rng_state is not None:
+            if self._fault_rng is None:
+                raise SchedulingError(
+                    "checkpoint carries fault-RNG state but this scheduler "
+                    "has no fault_config"
+                )
+            self._fault_rng.bit_generator.state = fault_rng_state
+        self._fault_gen = int(state.get("fault_gen", 0))
+        self._drained_integral = float(state.get("drained_integral", 0.0))
+        self._last_drain_change_s = float(
+            state.get("last_drain_change_s", self.t_start_s)
+        )
+        self._attempts = {int(k): int(v) for k, v in state.get("attempts", [])}
+        self._retained = {int(k): float(v) for k, v in state.get("retained", [])}
+        self._next_gen = {int(k): int(v) for k, v in state.get("next_gen", [])}
+        self._n_failures = int(state.get("n_failures", 0))
+        self._n_job_kills = int(state.get("n_job_kills", 0))
+        self._n_retries = int(state.get("n_retries", 0))
+        self._n_failed_terminal = int(state.get("n_failed_terminal", 0))
+        self._wasted_node_seconds = float(state.get("wasted_node_seconds", 0.0))
+        self._wasted_energy_j = float(state.get("wasted_energy_j", 0.0))
+        self._n_degraded_ticks = int(state.get("n_degraded_ticks", 0))
+        self._n_degraded_starts = int(state.get("n_degraded_starts", 0))
 
 
 class MalleableScheduler:
@@ -677,9 +962,14 @@ class MalleableScheduler:
         low_g_per_kwh: float = PAPER_LOW_CI_G_PER_KWH,
         high_g_per_kwh: float = PAPER_HIGH_CI_G_PER_KWH,
         seed: int = 0,
+        fault_config: FaultConfig | None = None,
+        feed: ForecastFeed | None = None,
+        stale_after_s: float = 2.0 * 3600.0,
     ) -> None:
         if backfill_depth < 0:
             raise SchedulingError("backfill_depth must be non-negative")
+        if not stale_after_s > 0:
+            raise SchedulingError("stale_after_s must be positive")
         if not 0 <= offline_nodes < n_nodes:
             raise SchedulingError(
                 f"offline_nodes must be in [0, {n_nodes}), got {offline_nodes}"
@@ -710,6 +1000,9 @@ class MalleableScheduler:
         self.low_g_per_kwh = low_g_per_kwh
         self.high_g_per_kwh = high_g_per_kwh
         self.seed = seed
+        self.fault_config = fault_config
+        self.feed = feed
+        self.stale_after_s = stale_after_s
 
     def simulation(
         self, jobs: list[Job], t_end_s: float, t_start_s: float = 0.0
@@ -765,6 +1058,9 @@ def compare_rigid_malleable(
     low_g_per_kwh: float = PAPER_LOW_CI_G_PER_KWH,
     high_g_per_kwh: float = PAPER_HIGH_CI_G_PER_KWH,
     seed: int = 0,
+    fault_config: FaultConfig | None = None,
+    feed: ForecastFeed | None = None,
+    stale_after_s: float = 2.0 * 3600.0,
 ) -> RigidMalleableComparison:
     """Run the same trace rigidly and malleably; score both against ``ci``.
 
@@ -777,9 +1073,9 @@ def compare_rigid_malleable(
         n_nodes = 1
         while n_nodes < widest + offline_nodes + 1:
             n_nodes *= 2
-    rigid = BackfillScheduler(n_nodes, backfill_depth, offline_nodes).run(
-        jobs, t_end_s, environment, t_start_s
-    )
+    rigid = BackfillScheduler(
+        n_nodes, backfill_depth, offline_nodes, fault_config=fault_config
+    ).run(jobs, t_end_s, environment, t_start_s)
     malleable = MalleableScheduler(
         n_nodes,
         environment,
@@ -790,6 +1086,9 @@ def compare_rigid_malleable(
         low_g_per_kwh=low_g_per_kwh,
         high_g_per_kwh=high_g_per_kwh,
         seed=seed,
+        fault_config=fault_config,
+        feed=feed,
+        stale_after_s=stale_after_s,
     ).run(jobs, t_end_s, t_start_s)
     return RigidMalleableComparison(
         rigid=rigid,

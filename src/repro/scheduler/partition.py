@@ -22,6 +22,7 @@ class NodePool:
             raise AllocationError(f"n_nodes must be positive, got {n_nodes}")
         self._n_nodes = n_nodes
         self._busy = 0
+        self._drained = 0
 
     @property
     def n_nodes(self) -> int:
@@ -34,9 +35,19 @@ class NodePool:
         return self._busy
 
     @property
+    def drained(self) -> int:
+        """Nodes held out of service awaiting repair."""
+        return self._drained
+
+    @property
+    def up_nodes(self) -> int:
+        """Nodes in service (busy or free): total minus drained."""
+        return self._n_nodes - self._drained
+
+    @property
     def free(self) -> int:
-        """Nodes currently idle."""
-        return self._n_nodes - self._busy
+        """Nodes currently idle and in service."""
+        return self._n_nodes - self._busy - self._drained
 
     @property
     def utilisation(self) -> float:
@@ -67,11 +78,41 @@ class NodePool:
             )
         self._busy -= n
 
+    def drain(self, n: int = 1) -> None:
+        """Take ``n`` idle nodes out of service (failure/repair hold).
+
+        A failed node hosting a job must have its allocation released first
+        (the job is killed); drain then claims the now-idle node, so drained
+        capacity is invisible to ``fits``/``allocate`` until restored.
+        """
+        if n <= 0:
+            raise AllocationError(f"drain size must be positive, got {n}")
+        if n > self.free:
+            raise AllocationError(
+                f"cannot drain {n} nodes: only {self.free} idle "
+                f"({self._busy} busy, {self._drained} already drained)"
+            )
+        self._drained += n
+
+    def restore(self, n: int = 1) -> None:
+        """Return ``n`` repaired nodes to service."""
+        if n <= 0:
+            raise AllocationError(f"restore size must be positive, got {n}")
+        if n > self._drained:
+            raise AllocationError(
+                f"cannot restore {n} nodes: only {self._drained} drained"
+            )
+        self._drained -= n
+
     # -- checkpointing -------------------------------------------------------
 
     def state_dict(self) -> dict:
         """Serializable snapshot of the allocation state."""
-        return {"n_nodes": self._n_nodes, "busy": self._busy}
+        return {
+            "n_nodes": self._n_nodes,
+            "busy": self._busy,
+            "drained": self._drained,
+        }
 
     def load_state_dict(self, state: dict) -> None:
         """Restore allocation state; the pool size must match the snapshot."""
@@ -81,8 +122,15 @@ class NodePool:
                 f"this pool has {self._n_nodes} nodes"
             )
         busy = int(state["busy"])
+        drained = int(state.get("drained", 0))
         if not 0 <= busy <= self._n_nodes:
             raise AllocationError(
                 f"checkpoint busy count {busy} outside [0, {self._n_nodes}]"
             )
+        if not 0 <= drained <= self._n_nodes - busy:
+            raise AllocationError(
+                f"checkpoint drained count {drained} outside "
+                f"[0, {self._n_nodes - busy}]"
+            )
         self._busy = busy
+        self._drained = drained

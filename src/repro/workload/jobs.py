@@ -95,6 +95,11 @@ class JobRecord:
     ``node_power_w`` is the per-node busy power for this job at the operating
     point it ran at — the scheduler computes it once at job start from the
     node power model and the app's execution profile.
+
+    ``interrupted`` marks an attempt killed by a node failure before
+    completing: its node-seconds were burned but delivered no science, so
+    fault accounting charges them as wasted energy. The job itself may
+    reappear in a later (requeued) record.
     """
 
     job: Job
@@ -103,6 +108,7 @@ class JobRecord:
     setting: FrequencySetting
     effective_ghz: float
     node_power_w: float
+    interrupted: bool = False
 
     def __post_init__(self) -> None:
         if self.end_time_s <= self.start_time_s:

@@ -148,3 +148,35 @@ class TestFailureProperties:
         assert np.all(timeline.down_nodes >= 0)
         assert np.all(timeline.down_nodes <= nodes)
         assert 0.0 <= timeline.mean_unavailability <= 1.0
+
+
+class TestTimelineGridEdge:
+    """Regression: exact-multiple spans must keep the final sample point."""
+
+    def test_exact_multiple_keeps_endpoint(self, rng):
+        model = FailureModel(mtbf_hours=200.0, mttr_hours=10.0)
+        timeline = model.sample_timeline(
+            100, 2 * SECONDS_PER_DAY, rng, sample_interval_s=3600.0
+        )
+        assert timeline.times_s[-1] == pytest.approx(2 * SECONDS_PER_DAY)
+        assert len(timeline.times_s) == 49  # 48 hourly steps + both endpoints
+
+    def test_float_accumulated_multiple_keeps_endpoint(self, rng):
+        """An interval whose multiples accumulate float error still covers
+        the full span (the forecast-grid epsilon fix, mirrored here)."""
+        interval = 0.1 * 3600.0  # 360 s: 0.1 is inexact in binary
+        duration = 1000 * interval
+        model = FailureModel(mtbf_hours=200.0, mttr_hours=10.0)
+        timeline = model.sample_timeline(
+            50, duration, rng, sample_interval_s=interval
+        )
+        assert len(timeline.times_s) == 1001
+        assert timeline.times_s[-1] == pytest.approx(duration)
+
+    def test_non_multiple_truncates_below_span(self, rng):
+        model = FailureModel(mtbf_hours=200.0, mttr_hours=10.0)
+        timeline = model.sample_timeline(
+            100, 90 * 60.0, rng, sample_interval_s=3600.0
+        )
+        assert timeline.times_s[-1] == pytest.approx(3600.0)
+        assert len(timeline.times_s) == 2
