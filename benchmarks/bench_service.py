@@ -1,0 +1,190 @@
+"""Bench S3 — the multi-tenant facility service under concurrent load.
+
+One ``FacilityService`` (one shared core, one shared cache) is driven by
+1,200 concurrent simulated clients spread over 8 tenants, mixing the
+cheap point methods with identical sweep requests that must coalesce.
+
+Shape criteria: 100 concurrent identical sweeps trigger exactly one
+engine evaluation and every waiter receives byte-identical wire JSON;
+the sweep payload is byte-identical to the direct ``FacilitySession``
+path; the mixed load sustains ≥200 requests/s with a p99 latency under
+500 ms; and the accounting identity ``requests_in == served + rejected
++ failed`` holds per tenant under load and across a kill/resume.
+"""
+
+import asyncio
+import json
+
+import numpy as np
+
+from repro.api import FacilitySession
+from repro.core.reporting import render_table
+from repro.engine.runner import run_sweep
+from repro.service import AdmissionController, FacilityCore, FacilityService
+from repro.service.router import payload_sweep
+
+N_CLIENTS = 1_200
+N_TENANTS = 8
+N_COALESCE = 100
+P99_BUDGET_S = 0.5
+THROUGHPUT_FLOOR_RPS = 200.0
+
+SWEEP_PARAMS = {
+    "overrides": {"utilisations": [0.5, 0.9], "node_counts": [1024]},
+    "chunk_size": 256,
+}
+
+
+def counting_runner(counter):
+    def runner(spec, **kwargs):
+        counter.append(spec.spec_hash)
+        return run_sweep(spec, **kwargs)
+
+    return runner
+
+
+def open_service(core):
+    return FacilityService(
+        core=core,
+        admission=AdmissionController(
+            rate_per_s=100_000.0, burst=float(2 * N_CLIENTS), max_in_flight=2 * N_CLIENTS
+        ),
+    )
+
+
+def mixed_request(rng, i):
+    """A deterministic client mix: mostly cheap point methods, some sweeps."""
+    tenant = f"tenant-{i % N_TENANTS}"
+    kind = int(rng.integers(0, 10))
+    if kind < 5:
+        n_nodes = int(rng.choice([1024, 2048, 5860]))
+        return "emissions", {"n_nodes": n_nodes}, tenant
+    if kind < 8:
+        ci = float(rng.choice([25.0, 190.0, 450.0]))
+        return "classify_regime", {"at_ci_g_per_kwh": ci}, tenant
+    if kind < 9:
+        return "advise", {}, tenant
+    return "sweep", SWEEP_PARAMS, tenant
+
+
+async def _bench() -> dict:
+    evaluations = []
+    core = FacilityCore(runner=counting_runner(evaluations))
+    service = open_service(core)
+    loop = asyncio.get_running_loop()
+
+    # --- Gate 1: 100 concurrent identical sweeps, exactly one evaluation.
+    coalesce_responses = await asyncio.gather(
+        *(
+            service.call("sweep", SWEEP_PARAMS, tenant=f"tenant-{i % N_TENANTS}")
+            for i in range(N_COALESCE)
+        )
+    )
+    coalesce_evaluations = len(evaluations)
+    coalesce_wires = {r.wire_json() for r in coalesce_responses}
+
+    # --- Gate 2: byte-identical to the direct FacilitySession path.
+    session = FacilitySession(core=FacilityCore())
+    direct = payload_sweep(
+        session.sweep(chunk_size=SWEEP_PARAMS["chunk_size"], **SWEEP_PARAMS["overrides"])
+    )
+    canonical = lambda d: json.dumps(d, sort_keys=True, separators=(",", ":"))  # noqa: E731
+    parity = canonical(direct) == canonical(coalesce_responses[0].result)
+
+    # --- Gate 3: 1,200 concurrent mixed clients, throughput + p99.
+    rng = np.random.default_rng(0)
+    requests = [mixed_request(rng, i) for i in range(N_CLIENTS)]
+    latencies = []
+
+    async def client(method, params, tenant):
+        t0 = loop.time()
+        response = await service.call(method, params, tenant=tenant)
+        latencies.append(loop.time() - t0)
+        return response
+
+    t0 = loop.time()
+    responses = await asyncio.gather(*(client(*r) for r in requests))
+    wall_s = loop.time() - t0
+    all_ok = all(r.ok for r in responses)
+    throughput_rps = N_CLIENTS / wall_s
+    p50_s, p99_s = (float(np.percentile(latencies, q)) for q in (50, 99))
+    identity_under_load = service.metrics.reconciles()
+
+    # --- Gate 4: the identity survives a kill/resume.
+    victim = asyncio.ensure_future(
+        service.call("sweep", SWEEP_PARAMS, tenant="tenant-0")
+    )
+    await asyncio.sleep(0)
+    in_flight_at_kill = service.in_flight
+    snapshot = json.loads(json.dumps(service.state_dict()))
+    victim.cancel()
+    await asyncio.gather(victim, return_exceptions=True)
+
+    restored = FacilityService(core=FacilityCore())
+    restored.load_state_dict(snapshot)
+    identity_after_resume = restored.metrics.reconciles()
+    lost = restored.metrics.lost_to_restart
+    post = await asyncio.gather(
+        *(restored.call("emissions", {"n_nodes": 2048}) for _ in range(10))
+    )
+    identity_after_traffic = restored.metrics.reconciles() and all(r.ok for r in post)
+
+    return {
+        "coalesce_evaluations": coalesce_evaluations,
+        "coalesce_wires": len(coalesce_wires),
+        "parity": parity,
+        "wall_s": wall_s,
+        "throughput_rps": throughput_rps,
+        "p50_s": p50_s,
+        "p99_s": p99_s,
+        "all_ok": all_ok,
+        "total_coalesced": service.metrics.total_coalesced,
+        "total_evaluations": service.metrics.total_evaluations,
+        "identity_under_load": identity_under_load,
+        "in_flight_at_kill": in_flight_at_kill,
+        "lost_to_restart": lost,
+        "identity_after_resume": identity_after_resume,
+        "identity_after_traffic": identity_after_traffic,
+    }
+
+
+def _run() -> dict:
+    return asyncio.run(_bench())
+
+
+def test_service_under_concurrent_load(once):
+    r = once(_run)
+    rows = [
+        ["Clients (mixed load)", f"{N_CLIENTS:,} over {N_TENANTS} tenants"],
+        ["Wall time", f"{r['wall_s']:.3f} s"],
+        ["Throughput", f"{r['throughput_rps']:,.0f} req/s"],
+        ["Latency p50 / p99", f"{r['p50_s'] * 1e3:.2f} ms / {r['p99_s'] * 1e3:.2f} ms"],
+        ["p99 budget", f"{P99_BUDGET_S * 1e3:.0f} ms"],
+        [
+            "Coalescing gate",
+            f"{N_COALESCE} identical sweeps -> {r['coalesce_evaluations']} evaluation, "
+            f"{r['coalesce_wires']} unique wire body",
+        ],
+        ["Mixed-load coalesced / evaluated", f"{r['total_coalesced']} / {r['total_evaluations']}"],
+        ["Service vs session byte-identical", str(r["parity"])],
+        [
+            "Accounting identity",
+            f"load={r['identity_under_load']}, "
+            f"resume={r['identity_after_resume']}, "
+            f"post-resume={r['identity_after_traffic']}",
+        ],
+        ["Kill/resume", f"{r['in_flight_at_kill']} in flight -> {r['lost_to_restart']} lost-to-restart"],
+    ]
+    print()
+    print(render_table(["Quantity", "Value"], rows, title="Facility service"))
+
+    assert r["coalesce_evaluations"] == 1
+    assert r["coalesce_wires"] == 1
+    assert r["parity"]
+    assert r["all_ok"]
+    assert r["throughput_rps"] >= THROUGHPUT_FLOOR_RPS
+    assert r["p99_s"] <= P99_BUDGET_S
+    assert r["total_coalesced"] > 0
+    assert r["identity_under_load"]
+    assert r["in_flight_at_kill"] == 1 and r["lost_to_restart"] == 1
+    assert r["identity_after_resume"] and r["identity_after_traffic"]

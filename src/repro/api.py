@@ -22,34 +22,46 @@ Quick start::
     print(best.config.label())
     result = session.sweep()
     print(result.to_table())
+
+Since the multi-tenant service landed, the session is a *thin client* of
+:class:`repro.service.FacilityCore`: the immutable session parameters live
+in a :class:`repro.service.SessionParams` and every method forwards to the
+same core the service shares across tenants. Answers are bit-identical to
+the pre-service session — same engine entry points, same caches. Pass
+``core=`` to share one core (one memory cache, one sweep store) between
+many sessions in one process::
+
+    from repro.service import FacilityCore
+
+    core = FacilityCore(cache_dir="~/.cache/repro")
+    a = FacilitySession(core=core)
+    b = FacilitySession(core=core, utilisation=0.5)  # shares a's caches
 """
 
 from __future__ import annotations
 
+import warnings
+from dataclasses import replace
 from pathlib import Path
 
-from .core.decision import ARCHER2_WINTER_2022, DecisionEngine, OperatingPointScore, Priorities
+from .core.decision import ARCHER2_WINTER_2022, OperatingPointScore, Priorities
 from .core.efficiency import (
     BASELINE_CONFIG,
     POST_FREQ_CONFIG,
     BenchmarkComparison,
     OperatingConfig,
-    compare_app,
-    comparison_table,
 )
-from .core.emissions import EmbodiedProfile, EmissionsModel
-from .core.regimes import OptimisationTarget, Regime, advice, classify_ci
-from .engine.cache import LRUCache, SweepStore
+from .core.emissions import EmissionsModel
+from .core.regimes import OptimisationTarget, Regime
 from .engine.plan import CIScenario, SweepSpec
-from .engine.runner import SweepResult, evaluate_scenario, run_sweep
+from .engine.runner import SweepResult
 from .errors import ConfigurationError
-from .grid.trajectory import lifetime_average_ci
-from .node.calibration import build_node_model
+from .service.core import DEFAULT_CI, FacilityCore, SessionParams
 
 __all__ = ["FacilitySession"]
 
 #: ARCHER2 Winter-2022 grid carbon intensity, gCO2/kWh (paper §2).
-_DEFAULT_CI = 190.0
+_DEFAULT_CI = DEFAULT_CI
 
 
 class FacilitySession:
@@ -63,7 +75,9 @@ class FacilitySession:
     ``ci`` accepts either a flat carbon intensity in gCO2/kWh (a float) or
     a :class:`repro.engine.CIScenario` for decarbonising grids. Pass
     ``cache_dir`` to persist sweep chunks across sessions; in-memory reuse
-    within a session is always on.
+    within a session is always on. Pass ``core`` (a
+    :class:`repro.service.FacilityCore`) instead to share caches with
+    other sessions or with a running service.
     """
 
     def __init__(
@@ -79,67 +93,107 @@ class FacilitySession:
         memory_activity: float = 0.7,
         config: OperatingConfig = BASELINE_CONFIG,
         cache_dir: str | Path | None = None,
+        core: FacilityCore | None = None,
     ) -> None:
-        if isinstance(ci_g_per_kwh, CIScenario):
-            self.ci = ci_g_per_kwh
-        else:
-            self.ci = CIScenario.flat(float(ci_g_per_kwh))
-        self.n_nodes = n_nodes
-        self.utilisation = utilisation
-        self.lifetime_years = lifetime_years
-        self.embodied_per_node_tco2e = embodied_per_node_tco2e
-        self.embodied_overhead_tco2e = embodied_overhead_tco2e
-        self.compute_activity = compute_activity
-        self.memory_activity = memory_activity
-        self.config = config
-        self.node_model = build_node_model()
-        self.memory_cache = LRUCache()
-        self.store = SweepStore(cache_dir) if cache_dir is not None else None
+        if core is not None and cache_dir is not None:
+            raise ConfigurationError("pass either core or cache_dir, not both")
+        self._core = core if core is not None else FacilityCore(cache_dir=cache_dir)
+        self._params = SessionParams(
+            n_nodes=n_nodes,
+            utilisation=utilisation,
+            lifetime_years=lifetime_years,
+            ci=ci_g_per_kwh,
+            embodied_per_node_tco2e=embodied_per_node_tco2e,
+            embodied_overhead_tco2e=embodied_overhead_tco2e,
+            compute_activity=compute_activity,
+            memory_activity=memory_activity,
+            config=config,
+        )
         # The spec validators double as session-parameter validators.
-        self._point_spec(config)
+        self._core.point_spec(self._params)
 
-    # -- internals ---------------------------------------------------------
+    # -- parameters (kept as live attributes for compatibility) -------------
+
+    @property
+    def params(self) -> SessionParams:
+        """The immutable parameter record this session binds to the core."""
+        return self._params
+
+    def _get(name: str):  # noqa: N805 — descriptor factory, not a method
+        def getter(self):
+            return getattr(self._params, name)
+
+        def setter(self, value):
+            self._params = replace(self._params, **{name: value})
+
+        return property(getter, setter, doc=f"Session {name} (see SessionParams).")
+
+    n_nodes = _get("n_nodes")
+    utilisation = _get("utilisation")
+    lifetime_years = _get("lifetime_years")
+    ci = _get("ci")
+    embodied_per_node_tco2e = _get("embodied_per_node_tco2e")
+    embodied_overhead_tco2e = _get("embodied_overhead_tco2e")
+    compute_activity = _get("compute_activity")
+    memory_activity = _get("memory_activity")
+    config = _get("config")
+    del _get
+
+    @property
+    def core(self) -> FacilityCore:
+        """The (possibly shared) core answering this session's questions."""
+        return self._core
+
+    @property
+    def node_model(self):
+        """The calibrated node power/performance model (owned by the core)."""
+        return self._core.node_model
+
+    @property
+    def memory_cache(self):
+        """The in-memory sweep cache (owned by the core, maybe shared)."""
+        return self._core.memory_cache
+
+    @property
+    def store(self):
+        """The on-disk sweep store, or ``None`` (owned by the core)."""
+        return self._core.store
+
+    # -- internals (deprecated shims) ---------------------------------------
 
     def _point_spec(self, config: OperatingConfig | None) -> SweepSpec:
-        """A single-scenario spec pinning every axis to the session values."""
-        config = config or self.config
-        return SweepSpec(
-            frequencies=(config.setting,),
-            bios_modes=(config.mode,),
-            ci_scenarios=(self.ci,),
-            utilisations=(self.utilisation,),
-            node_counts=(self.n_nodes,),
-            lifetimes_years=(self.lifetime_years,),
-            embodied_per_node_tco2e=self.embodied_per_node_tco2e,
-            embodied_overhead_tco2e=self.embodied_overhead_tco2e,
-            compute_activity=self.compute_activity,
-            memory_activity=self.memory_activity,
+        """Deprecated: use ``session.core.point_spec(session.params, config)``."""
+        warnings.warn(
+            "FacilitySession._point_spec is deprecated; use "
+            "session.core.point_spec(session.params, config)",
+            DeprecationWarning,
+            stacklevel=2,
         )
+        return self._core.point_spec(self._params, config)
 
     def _evaluate(self, config: OperatingConfig | None) -> dict[str, float]:
-        spec = self._point_spec(config)
-        return evaluate_scenario(spec, spec.scenario(0), self.node_model)
+        """Deprecated: use ``session.core.evaluate_point(session.params, config)``."""
+        warnings.warn(
+            "FacilitySession._evaluate is deprecated; use "
+            "session.core.evaluate_point(session.params, config)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._core.evaluate_point(self._params, config)
 
     # -- §2: emissions and regimes -----------------------------------------
 
     def mean_ci_g_per_kwh(self) -> float:
         """Lifetime-average carbon intensity of the session's grid scenario."""
-        return lifetime_average_ci(self.ci.trajectory(), self.lifetime_years)
+        return self._core.mean_ci_g_per_kwh(self._params)
 
     def mean_power_kw(self, config: OperatingConfig | None = None) -> float:
         """Mean facility draw (busy/idle blended by utilisation), kW."""
-        return self._evaluate(config)["mean_power_kw"]
+        return self._core.mean_power_kw(self._params, config)
 
     def emissions_model(self, config: OperatingConfig | None = None) -> EmissionsModel:
         """The scope-2/scope-3 model at one operating point (session defaults)."""
-        return EmissionsModel(
-            embodied=EmbodiedProfile(
-                total_tco2e=self.embodied_overhead_tco2e
-                + self.embodied_per_node_tco2e * self.n_nodes,
-                lifetime_years=self.lifetime_years,
-            ),
-            mean_power_kw=self.mean_power_kw(config),
-        )
+        return self._core.emissions_model(self._params, config)
 
     def emissions(self, config: OperatingConfig | None = None) -> dict[str, float]:
         """Lifetime emissions at one operating point (default: the session's).
@@ -149,16 +203,15 @@ class FacilitySession:
         ``total_tco2e``, ``scope2_share``, ``crossover_ci_g_per_kwh``,
         ``crossing_year`` and friends.
         """
-        return self._evaluate(config)
+        return self._core.emissions(self._params, config)
 
     def classify_regime(self, ci_g_per_kwh: float | None = None) -> Regime:
         """The §2 regime at a carbon intensity (default: the session mean)."""
-        ci = self.mean_ci_g_per_kwh() if ci_g_per_kwh is None else ci_g_per_kwh
-        return classify_ci(ci)
+        return self._core.classify_regime(self._params, ci_g_per_kwh)
 
     def optimisation_target(self, ci_g_per_kwh: float | None = None) -> OptimisationTarget:
         """What the §2 regime says to optimise for (performance/balance/energy)."""
-        return advice(self.classify_regime(ci_g_per_kwh))
+        return self._core.optimisation_target(self._params, ci_g_per_kwh)
 
     # -- §3/§4: efficiency -------------------------------------------------
 
@@ -173,22 +226,7 @@ class FacilitySession:
         Covers the paper's curated benchmark apps, or a single catalogue app
         when ``app_name`` is given.
         """
-        from .workload.applications import full_catalogue, paper_curated_apps
-
-        baseline = baseline or self.config
-        catalogue = full_catalogue()
-        if app_name is not None:
-            try:
-                app = catalogue[app_name]
-            except KeyError:
-                raise ConfigurationError(
-                    f"unknown app {app_name!r}; choose from {sorted(catalogue)}"
-                ) from None
-            return [compare_app(app, candidate, baseline, self.node_model)]
-        curated = {
-            name: app for name, app in catalogue.items() if name in paper_curated_apps()
-        }
-        return comparison_table(curated, candidate, baseline, self.node_model)
+        return self._core.efficiency(self._params, candidate, baseline, app_name)
 
     # -- §5: decisions ------------------------------------------------------
 
@@ -196,16 +234,7 @@ class FacilitySession:
         self, priorities: Priorities = ARCHER2_WINTER_2022
     ) -> OperatingPointScore:
         """Recommended operating point for the declared §5 priorities."""
-        from .workload.mix import archer2_mix
-
-        engine = DecisionEngine(
-            mix=archer2_mix(),
-            node_model=self.node_model,
-            emissions_model=self.emissions_model(),
-            ci_g_per_kwh=self.mean_ci_g_per_kwh(),
-            baseline=self.config,
-        )
-        return engine.recommend(priorities)
+        return self._core.advise(self._params, priorities)
 
     # -- sweeps --------------------------------------------------------------
 
@@ -227,33 +256,15 @@ class FacilitySession:
         complete control. Results are cached in memory (and on disk when
         the session has a ``cache_dir``).
         """
-        if spec is not None and overrides:
-            raise ConfigurationError("pass either a spec or field overrides, not both")
-        if spec is None:
-            fields = dict(
-                ci_scenarios=None,  # SweepSpec default (four grid scenarios)
-                utilisations=(self.utilisation,),
-                node_counts=(self.n_nodes,),
-                lifetimes_years=(self.lifetime_years,),
-                embodied_per_node_tco2e=self.embodied_per_node_tco2e,
-                embodied_overhead_tco2e=self.embodied_overhead_tco2e,
-                compute_activity=self.compute_activity,
-                memory_activity=self.memory_activity,
-            )
-            fields = {k: v for k, v in fields.items() if v is not None}
-            fields.update(overrides)
-            spec = SweepSpec(**fields)
-        return run_sweep(
+        return self._core.sweep(
+            self._params,
             spec,
             chunk_size=chunk_size,
-            store=self.store,
-            memory_cache=self.memory_cache,
             workers=workers,
             progress=progress,
+            **overrides,
         )
 
     def invalidate_caches(self) -> None:
         """Drop every cached sweep (memory, and disk when configured)."""
-        self.memory_cache.clear()
-        if self.store is not None:
-            self.store.clear()
+        self._core.invalidate_caches()

@@ -12,6 +12,8 @@ Subcommands:
   (:mod:`repro.lint.cli`).
 * ``repro sched`` — rigid vs carbon-aware malleable scheduling comparison
   (:mod:`repro.scheduler.cli`).
+* ``repro serve`` — the multi-tenant facility service over HTTP/JSON, or
+  its concurrency selftest (:mod:`repro.service.cli`).
 
 The legacy positional form (``python -m repro T1 T2``, ``--list`` at the
 top level) still works but prints a deprecation notice; use ``repro run``.
@@ -27,7 +29,7 @@ from .experiments import REGISTRY, run_experiment
 
 FAST_EXPERIMENTS = ["T1", "T2", "T3", "T4", "R1", "A1", "A2"]
 
-SUBCOMMANDS = ("run", "monitor", "sweep", "lint", "sched")
+SUBCOMMANDS = ("run", "monitor", "sweep", "lint", "sched", "serve")
 
 
 def build_parser(prog: str = "repro run") -> argparse.ArgumentParser:
@@ -43,7 +45,8 @@ def build_parser(prog: str = "repro run") -> argparse.ArgumentParser:
             "monitoring pipeline; 'repro sweep' plans/runs/exports scenario "
             "sweeps through the vectorized engine; 'repro lint' runs the "
             "AST-based contract checker; 'repro sched' compares rigid vs "
-            "carbon-aware malleable scheduling. See their --help."
+            "carbon-aware malleable scheduling; 'repro serve' runs the "
+            "multi-tenant facility service. See their --help."
         ),
     )
     parser.add_argument(
@@ -125,6 +128,10 @@ def main(argv: list[str] | None = None) -> int:
         from .scheduler.cli import sched_main
 
         return sched_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from .service.cli import serve_main
+
+        return serve_main(argv[1:])
     if argv and argv[0] == "run":
         return run_main(argv[1:])
     # Legacy positional form: `python -m repro T1 T2` / top-level --list.

@@ -85,6 +85,9 @@ class SweepStore:
         self.engine_version = engine_version
         self.hits = 0
         self.misses = 0
+        #: Writes skipped because an identical chunk was already published
+        #: (concurrent writers deduplicating against each other).
+        self.skipped_writes = 0
         self.root.mkdir(parents=True, exist_ok=True)
 
     # -- paths ---------------------------------------------------------------
@@ -109,13 +112,19 @@ class SweepStore:
         lo: int,
         hi: int,
         columns: Mapping[str, np.ndarray],
+        *,
+        overwrite: bool = False,
     ) -> Path:
-        """Atomically persist one chunk's column arrays.
+        """Atomically persist one chunk's column arrays (ignore-if-exists).
 
         The write goes to a unique temp file in the entry directory and is
         published with ``os.replace``, so readers never observe a partial
-        file and racing writers simply overwrite each other with identical
-        content.
+        file. The store is content-addressed and evaluation deterministic,
+        so an already-published chunk is already *this* chunk: by default a
+        racing second writer skips the publish (and, if it loses the
+        existence race inside the syscall window, the replace is still
+        byte-equivalent). Pass ``overwrite=True`` to republish anyway —
+        that is how corruption repair paths force a clean copy.
         """
         entry = self.entry_dir(spec.spec_hash)
         entry.mkdir(parents=True, exist_ok=True)
@@ -123,6 +132,9 @@ class SweepStore:
         if not meta.exists():
             self._atomic_write_bytes(meta, spec.canonical_json().encode())
         target = self.chunk_path(spec.spec_hash, lo, hi)
+        if not overwrite and target.is_file():
+            self.skipped_writes += 1
+            return target
         fd, tmp_name = tempfile.mkstemp(
             dir=entry, prefix=target.name + ".", suffix=".tmp"
         )
@@ -205,9 +217,14 @@ class SweepStore:
         return removed
 
     def stats(self) -> dict[str, int]:
-        """Hit/miss counters plus the number of entries on disk."""
+        """Hit/miss/skip counters plus the number of entries on disk."""
         n_entries = sum(1 for p in self.root.iterdir() if p.is_dir())
-        return {"hits": self.hits, "misses": self.misses, "entries": n_entries}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "skipped_writes": self.skipped_writes,
+            "entries": n_entries,
+        }
 
     @staticmethod
     def _atomic_write_bytes(path: Path, payload: bytes) -> None:

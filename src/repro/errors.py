@@ -21,6 +21,8 @@ __all__ = [
     "CheckpointError",
     "ExperimentError",
     "LintError",
+    "ServiceError",
+    "AdmissionError",
 ]
 
 
@@ -74,3 +76,35 @@ class ExperimentError(HpcemError):
 
 class LintError(HpcemError):
     """The static-analysis pass was misconfigured or could not run."""
+
+
+class ServiceError(HpcemError):
+    """The facility service was misused: bad envelope, unknown method…
+
+    ``code`` is the structured error code the versioned response envelope
+    carries (:mod:`repro.service.envelope` maps other exception types to
+    codes; a ``ServiceError`` names its own).
+    """
+
+    def __init__(self, message: str, *, code: str = "bad-request") -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class AdmissionError(ServiceError):
+    """A request was refused by admission control (the 429 of the service).
+
+    ``code`` distinguishes ``"rate-limited"`` (a tenant token bucket ran
+    dry) from ``"overloaded"`` (global queue-depth shedding);
+    ``retry_after_s`` is the earliest retry that could succeed.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        code: str = "overloaded",
+        retry_after_s: float | None = None,
+    ) -> None:
+        super().__init__(message, code=code)
+        self.retry_after_s = retry_after_s

@@ -1,0 +1,60 @@
+"""Multi-tenant facility service: one shared cache, thousands of sessions.
+
+The request plane over the paper's analysis engine. One process hosts one
+:class:`FacilityCore` (node model + shared caches); any number of tenants
+ask §2–§5 questions through versioned request/response envelopes, either
+in-process (``await service.handle(request)``) or over the stdlib
+HTTP/JSON front (``repro serve``).
+
+The layers, bottom-up:
+
+* :mod:`~repro.service.core` — :class:`SessionParams` +
+  :class:`FacilityCore`, the stateless question-answering core both
+  :class:`repro.api.FacilitySession` and the service share;
+* :mod:`~repro.service.envelope` — :class:`ServiceRequest` /
+  :class:`ServiceResponse`, structured error codes;
+* :mod:`~repro.service.coalesce` — :class:`SingleFlight` request
+  coalescing (N identical concurrent sweeps → 1 evaluation);
+* :mod:`~repro.service.admission` — :class:`TokenBucket` /
+  :class:`AdmissionController` fairness and shedding;
+* :mod:`~repro.service.metrics` — :class:`ServiceMetrics` and its
+  ``requests_in == served + rejected + failed`` identity;
+* :mod:`~repro.service.service` — :class:`FacilityService`, the
+  composition, with full ``state_dict``/``load_state_dict``;
+* :mod:`~repro.service.http` — :class:`ServiceHTTPServer`;
+* :mod:`~repro.service.selftest` — the deterministic CI soak.
+"""
+
+from .admission import AdmissionController, TokenBucket
+from .coalesce import SingleFlight
+from .core import FacilityCore, SessionParams
+from .envelope import (
+    METHODS,
+    PROTOCOL_VERSION,
+    ServiceRequest,
+    ServiceResponse,
+    error_code,
+)
+from .http import ServiceHTTPServer
+from .metrics import ServiceMetrics
+from .router import ServiceRouter
+from .selftest import run_selftest
+from .service import FacilityService
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "METHODS",
+    "SessionParams",
+    "FacilityCore",
+    "ServiceRequest",
+    "ServiceResponse",
+    "error_code",
+    "SingleFlight",
+    "TokenBucket",
+    "AdmissionController",
+    "ServiceMetrics",
+    "ServiceRouter",
+    "FacilityService",
+    "ServiceHTTPServer",
+    "run_selftest",
+]

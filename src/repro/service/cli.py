@@ -1,0 +1,140 @@
+"""``repro serve``: run the facility service (or its CI soak selftest).
+
+Two modes:
+
+* ``repro serve --selftest [--clients N]`` — the in-process soak from
+  :mod:`repro.service.selftest`: thousands of concurrent simulated
+  clients against one service, gates on accounting, coalescing, parity
+  and kill/resume. Prints the JSON report; exit code is the verdict.
+  This is what the CI ``service-soak`` job runs.
+* ``repro serve [--host H] [--port P] [--cache-dir DIR]`` — bind the
+  stdlib HTTP/JSON front (:mod:`repro.service.http`) and serve until
+  interrupted. ``POST /v1/request`` takes a request envelope.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+
+__all__ = ["serve_main"]
+
+
+def build_parser(prog: str = "repro serve") -> argparse.ArgumentParser:
+    """The ``repro serve`` argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description=(
+            "Serve the multi-tenant facility service over HTTP/JSON, or "
+            "run its deterministic concurrency selftest."
+        ),
+    )
+    parser.add_argument(
+        "--selftest",
+        action="store_true",
+        help="run the in-process soak (no socket) and exit 0/1 on the verdict",
+    )
+    parser.add_argument(
+        "--clients",
+        type=int,
+        default=2000,
+        help="simulated concurrent clients for --selftest (default: 2000)",
+    )
+    parser.add_argument(
+        "--tenants",
+        type=int,
+        default=8,
+        help="distinct tenants for --selftest (default: 8)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="selftest RNG seed (default: 0)"
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="with --selftest, print the raw JSON report instead of the summary",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    parser.add_argument(
+        "--port", type=int, default=8173, help="bind port (default: 8173; 0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="content-addressed on-disk sweep store shared by every tenant",
+    )
+    parser.add_argument(
+        "--max-in-flight",
+        type=int,
+        default=1024,
+        help="queue-depth shedding threshold (default: 1024)",
+    )
+    parser.add_argument(
+        "--rate-per-s",
+        type=float,
+        default=50.0,
+        help="per-tenant token refill rate (default: 50)",
+    )
+    parser.add_argument(
+        "--burst",
+        type=float,
+        default=100.0,
+        help="per-tenant token bucket depth (default: 100)",
+    )
+    return parser
+
+
+async def _serve(args: argparse.Namespace) -> int:
+    from .admission import AdmissionController
+    from .http import ServiceHTTPServer
+    from .service import FacilityService
+
+    service = FacilityService(
+        cache_dir=args.cache_dir,
+        admission=AdmissionController(
+            rate_per_s=args.rate_per_s,
+            burst=args.burst,
+            max_in_flight=args.max_in_flight,
+        ),
+    )
+    server = ServiceHTTPServer(service, host=args.host, port=args.port)
+    await server.start()
+    print(
+        f"facility service listening on http://{server.host}:{server.port} "
+        "(POST /v1/request, GET /v1/health, GET /v1/metrics)",
+        file=sys.stderr,
+    )
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.stop()
+        await service.drain()
+    return 0
+
+
+def serve_main(argv: list[str] | None = None, prog: str = "repro serve") -> int:
+    """``repro serve`` entry point; returns a process exit code."""
+    args = build_parser(prog).parse_args(argv)
+    if args.selftest:
+        from .selftest import format_report, run_selftest
+
+        report = asyncio.run(
+            run_selftest(
+                n_clients=args.clients, n_tenants=args.tenants, seed=args.seed
+            )
+        )
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            print(format_report(report))
+        return 0 if report["ok"] else 1
+    try:
+        return asyncio.run(_serve(args))
+    except KeyboardInterrupt:
+        return 0

@@ -1,0 +1,111 @@
+"""Single-flight request coalescing: one evaluation per identical question.
+
+When a thousand sessions ask for the same sweep at once, the cache alone
+does not save them — they all miss together, then all compute together (a
+cache stampede). :class:`SingleFlight` closes that window: the first caller
+for a key becomes the *leader* and runs the computation; every concurrent
+caller with the same key attaches as a *waiter* to the leader's future and
+receives the same object.
+
+Cancellation is the hard part, handled explicitly:
+
+* a cancelled **waiter** detaches without disturbing the flight (the
+  future is awaited through :func:`asyncio.shield`);
+* a cancelled **leader** cancels the shared future, and each surviving
+  waiter retries the key — the first retry becomes the new leader (a
+  *handoff*), so waiters are never stranded behind a dead flight;
+* however it ends (result, error, cancellation), the in-flight entry is
+  removed before control returns — no leaked keys, which is what makes
+  :meth:`inflight_keys` trustworthy for the service's ``state_dict``.
+
+Errors propagate to every attached caller: an identical request would fail
+identically, so sharing the exception is the coalescing-consistent answer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, TypeVar
+
+__all__ = ["SingleFlight"]
+
+T = TypeVar("T")
+
+
+class SingleFlight:
+    """Per-key in-flight futures with leader/waiter attach and handoff."""
+
+    def __init__(self) -> None:
+        self._inflight: dict[str, asyncio.Future] = {}
+        #: Flights led (actual executions started).
+        self.leads = 0
+        #: Calls that attached to an existing flight instead of computing.
+        self.joins = 0
+        #: Times a waiter took over after its leader was cancelled.
+        self.handoffs = 0
+
+    def __len__(self) -> int:
+        """Number of keys currently in flight."""
+        return len(self._inflight)
+
+    def __contains__(self, key: str) -> bool:
+        """Whether ``key`` has a flight in progress right now.
+
+        Checked synchronously (no await) immediately before :meth:`run`,
+        this predicts whether that call will join rather than lead.
+        """
+        return key in self._inflight
+
+    def inflight_keys(self) -> list[str]:
+        """The keys currently being computed, sorted."""
+        return sorted(self._inflight)
+
+    async def run(self, key: str, factory: Callable[[], Awaitable[T]]) -> T:
+        """Return ``factory()``'s value, computing it at most once per key.
+
+        Concurrent calls with the same ``key`` receive the *same* object
+        (or the same exception). ``factory`` is only invoked by the leader.
+        """
+        while True:
+            existing = self._inflight.get(key)
+            if existing is None:
+                return await self._lead(key, factory)
+            self.joins += 1
+            try:
+                return await asyncio.shield(existing)
+            except asyncio.CancelledError:
+                if existing.cancelled():
+                    # The leader died; take over rather than strand everyone.
+                    self.handoffs += 1
+                    continue
+                raise  # this waiter itself was cancelled
+
+    async def _lead(self, key: str, factory: Callable[[], Awaitable[T]]) -> T:
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        self.leads += 1
+        try:
+            value = await factory()
+        except asyncio.CancelledError:
+            self._finish(key, future)
+            if not future.done():
+                future.cancel()
+            raise
+        except BaseException as exc:
+            self._finish(key, future)
+            if not future.done():
+                future.set_exception(exc)
+                # The leader re-raises below; waiters may or may not exist.
+                # Mark retrieved so an unobserved copy never warns.
+                future.exception()
+            raise
+        else:
+            self._finish(key, future)
+            if not future.done():
+                future.set_result(value)
+            return value
+
+    def _finish(self, key: str, future: asyncio.Future) -> None:
+        """Remove the flight entry iff it is still ours (handoff-safe)."""
+        if self._inflight.get(key) is future:
+            del self._inflight[key]

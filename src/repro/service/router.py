@@ -1,0 +1,257 @@
+"""Request routing: versioned envelopes → FacilityCore calls → JSON payloads.
+
+One handler per :data:`~repro.service.envelope.METHODS` entry. Handlers are
+pure functions of ``(core, request)``: they parse :class:`~repro.service.
+core.SessionParams` out of the request's params, call the shared core, and
+serialise the answer to a JSON-able payload. The payload builders are
+module-level so the parity benchmark can build the *expected* payload from
+a direct :class:`~repro.api.FacilitySession` answer through exactly the
+same serialisation — byte-identity then tests the service plumbing, not
+the formatter.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..core.decision import ARCHER2_WINTER_2022, OperatingPointScore, Priorities
+from ..core.efficiency import POST_FREQ_CONFIG, BenchmarkComparison
+from ..engine.plan import CIScenario, SweepSpec
+from ..engine.runner import SweepResult
+from ..errors import ConfigurationError, ServiceError
+from .core import FacilityCore, SessionParams, _parse_config
+from .envelope import METHODS, ServiceRequest
+
+__all__ = [
+    "ServiceRouter",
+    "payload_emissions",
+    "payload_regime",
+    "payload_efficiency",
+    "payload_advice",
+    "payload_sweep",
+]
+
+
+# -- payload builders (shared with the parity benchmark) -----------------------
+
+
+def payload_emissions(row: Mapping[str, float]) -> dict:
+    """The scalar engine row as a plain JSON-able mapping."""
+    return {name: float(value) for name, value in row.items()}
+
+
+def payload_regime(regime, target, ci_g_per_kwh: float) -> dict:
+    """Regime classification with its optimisation target."""
+    return {
+        "ci_g_per_kwh": float(ci_g_per_kwh),
+        "regime": regime.value,
+        "target": target.value,
+    }
+
+
+def payload_efficiency(rows: list[BenchmarkComparison]) -> dict:
+    """Tables 3/4-style comparison rows."""
+    return {
+        "rows": [
+            {
+                "app_name": row.app_name,
+                "nodes": int(row.nodes),
+                "perf_ratio": float(row.perf_ratio),
+                "energy_ratio": float(row.energy_ratio),
+                "paper_perf_ratio": row.paper_perf_ratio,
+                "paper_energy_ratio": row.paper_energy_ratio,
+            }
+            for row in rows
+        ]
+    }
+
+
+def payload_advice(score: OperatingPointScore) -> dict:
+    """The recommended operating point plus its mix-weighted ratios."""
+    return {
+        "config": {
+            "frequency": score.config.setting.value,
+            "bios_mode": score.config.mode.value,
+            "label": score.config.label(),
+        },
+        "mean_perf_ratio": float(score.mean_perf_ratio),
+        "mean_energy_ratio": float(score.mean_energy_ratio),
+        "mean_power_ratio": float(score.mean_power_ratio),
+        "emissions_ratio": float(score.emissions_ratio),
+        "cost_ratio": float(score.cost_ratio),
+        "score": float(score.score),
+        "feasible": bool(score.feasible),
+    }
+
+
+def payload_sweep(result: SweepResult) -> dict:
+    """A sweep as its summary plus the full deterministic CSV grid.
+
+    ``csv`` reuses :meth:`SweepResult.to_csv_rows` — floats rendered with
+    ``repr`` — so a cache replay that reproduces the same float64 values
+    reproduces the same payload bytes.
+    """
+    return {"summary": result.to_dict(), "csv": result.to_csv_rows()}
+
+
+# -- routing -------------------------------------------------------------------
+
+
+class ServiceRouter:
+    """Maps envelope methods onto one shared :class:`FacilityCore`."""
+
+    def __init__(self, core: FacilityCore) -> None:
+        self.core = core
+        self._handlers = {
+            "emissions": self._emissions,
+            "classify_regime": self._classify_regime,
+            "efficiency": self._efficiency,
+            "advise": self._advise,
+            "sweep": self._sweep,
+            "sched_compare": self._sched_compare,
+        }
+        assert set(self._handlers) == set(METHODS)
+
+    def dispatch(self, request: ServiceRequest) -> dict:
+        """Run one request's handler; returns the JSON-able result payload."""
+        handler = self._handlers.get(request.method)
+        if handler is None:
+            raise ServiceError(
+                f"unknown method {request.method!r}; choose from {METHODS}",
+                code="unknown-method",
+            )
+        return handler(request.params)
+
+    # -- handlers ----------------------------------------------------------
+
+    def _emissions(self, params: Mapping) -> dict:
+        session = SessionParams.from_mapping(params)
+        return payload_emissions(self.core.emissions(session))
+
+    def _classify_regime(self, params: Mapping) -> dict:
+        session = SessionParams.from_mapping(params)
+        ci = params.get("at_ci_g_per_kwh")
+        ci = float(ci) if ci is not None else self.core.mean_ci_g_per_kwh(session)
+        return payload_regime(
+            self.core.classify_regime(session, ci),
+            self.core.optimisation_target(session, ci),
+            ci,
+        )
+
+    def _efficiency(self, params: Mapping) -> dict:
+        session = SessionParams.from_mapping(params)
+        candidate = (
+            _parse_config(params["candidate"], "candidate")
+            if "candidate" in params
+            else POST_FREQ_CONFIG
+        )
+        baseline = (
+            _parse_config(params["baseline"], "baseline")
+            if "baseline" in params
+            else None
+        )
+        return payload_efficiency(
+            self.core.efficiency(
+                session, candidate, baseline, params.get("app_name")
+            )
+        )
+
+    def _advise(self, params: Mapping) -> dict:
+        session = SessionParams.from_mapping(params)
+        priorities = ARCHER2_WINTER_2022
+        if "priorities" in params:
+            spec = params["priorities"]
+            if not isinstance(spec, Mapping):
+                raise ConfigurationError(
+                    f"priorities must be a mapping of weights, got {spec!r}"
+                )
+            try:
+                priorities = Priorities(**dict(spec))
+            except TypeError as exc:
+                raise ConfigurationError(f"bad priorities: {exc}") from None
+        return payload_advice(self.core.advise(session, priorities))
+
+    def _sweep(self, params: Mapping) -> dict:
+        session = SessionParams.from_mapping(params)
+        spec = None
+        if "spec" in params:
+            spec = SweepSpec.from_canonical(params["spec"])
+        overrides = dict(params.get("overrides", {}))
+        if "ci_scenarios" in overrides:
+            overrides["ci_scenarios"] = tuple(
+                ci if isinstance(ci, CIScenario) else CIScenario.from_canonical(ci)
+                for ci in overrides["ci_scenarios"]
+            )
+        chunk_size = int(params.get("chunk_size", 4096))
+        result = self.core.sweep(
+            session, spec, chunk_size=chunk_size, **overrides
+        )
+        return payload_sweep(result)
+
+    def _sched_compare(self, params: Mapping) -> dict:
+        # Heavy subsystem: import lazily so the service core stays light.
+        import numpy as np
+
+        from ..grid.carbon_intensity import SCENARIOS, CarbonIntensityModel
+        from ..scheduler.backfill import StaticEnvironment
+        from ..scheduler.malleable import compare_rigid_malleable
+        from ..units import SECONDS_PER_DAY
+        from ..workload.generator import JobStreamConfig, JobStreamGenerator
+        from ..workload.mix import archer2_mix
+
+        days = float(params.get("days", 1.0))
+        nodes = int(params.get("nodes", 128))
+        seed = int(params.get("seed", 42))
+        scenario = params.get("scenario", "balanced")
+        if scenario not in SCENARIOS:
+            raise ConfigurationError(
+                f"unknown CI scenario {scenario!r}; choose from {sorted(SCENARIOS)}"
+            )
+        if days <= 0 or nodes <= 0:
+            raise ConfigurationError("days and nodes must be positive")
+        t_end_s = days * SECONDS_PER_DAY
+
+        rng = np.random.default_rng(seed)
+        config = JobStreamConfig(
+            n_facility_nodes=nodes,
+            offered_load=float(params.get("offered_load", 0.95)),
+            mean_runtime_s=4.0 * 3600.0,
+            max_job_nodes=max(1, nodes // 4),
+            malleable_fraction=float(params.get("malleable_fraction", 0.5)),
+            shift_slack_mean_s=float(params.get("slack_hours", 2.0)) * 3600.0,
+        )
+        jobs = JobStreamGenerator(archer2_mix(), config, rng).generate_until(
+            t_end_s * 0.9
+        )
+        ci_model = CarbonIntensityModel.from_scenario(scenario)
+        ci = ci_model.series(0.0, t_end_s + SECONDS_PER_DAY, 1800.0, rng)
+        comparison = compare_rigid_malleable(
+            jobs,
+            t_end_s,
+            StaticEnvironment(node_model=self.core.node_model),
+            ci,
+            n_nodes=nodes,
+            carbon_tick_interval_s=float(params.get("tick_minutes", 30.0)) * 60.0,
+            seed=seed,
+        )
+        rigid, malleable = comparison.rigid, comparison.malleable
+        return {
+            "n_jobs": len(jobs),
+            "rigid": {
+                "tco2e": float(comparison.rigid_tco2e),
+                "energy_kwh": float(rigid.total_energy_kwh()),
+                "mean_utilisation": float(rigid.mean_utilisation()),
+                "mean_bounded_stretch": float(rigid.mean_bounded_stretch()),
+            },
+            "malleable": {
+                "tco2e": float(comparison.malleable_tco2e),
+                "energy_kwh": float(malleable.total_energy_kwh()),
+                "mean_utilisation": float(malleable.mean_utilisation()),
+                "mean_bounded_stretch": float(malleable.mean_bounded_stretch()),
+                "n_shifted": int(malleable.n_shifted),
+                "n_shrinks": int(malleable.n_shrinks),
+                "n_grows": int(malleable.n_grows),
+            },
+            "emissions_saving_tco2e": float(comparison.emissions_saving_tco2e),
+            "energy_saving_kwh": float(comparison.energy_saving_kwh),
+        }

@@ -1,6 +1,7 @@
 """Cache correctness: LRU behaviour, disk store integrity, invalidation."""
 
 import concurrent.futures
+import threading
 
 import numpy as np
 import pytest
@@ -155,6 +156,55 @@ class TestInvalidation:
 
 
 class TestConcurrentWriters:
+    def test_put_chunk_ignores_existing_chunk(self, tmp_path):
+        """Regression: a second writer must not republish an existing chunk."""
+        spec = small_spec()
+        store = SweepStore(tmp_path)
+        result = run_sweep(spec, chunk_size=8, store=store)
+        columns = {name: result.columns[name][:8] for name in COLUMNS}
+        target = store.chunk_path(spec.spec_hash, 0, 8)
+        before = target.stat().st_mtime_ns
+        path = store.put_chunk(spec, 0, 8, columns)
+        assert path == target
+        assert store.skipped_writes == 1
+        assert target.stat().st_mtime_ns == before  # untouched, not rewritten
+        assert store.stats()["skipped_writes"] == 1
+
+    def test_put_chunk_overwrite_republishes(self, tmp_path):
+        spec = small_spec()
+        store = SweepStore(tmp_path)
+        result = run_sweep(spec, chunk_size=8, store=store)
+        columns = {name: result.columns[name][:8] for name in COLUMNS}
+        target = store.chunk_path(spec.spec_hash, 0, 8)
+        target.write_bytes(b"corrupted")
+        store.put_chunk(spec, 0, 8, columns, overwrite=True)
+        assert store.skipped_writes == 0
+        assert store.get_chunk(spec.spec_hash, 0, 8, COLUMNS) is not None
+
+    def test_two_writers_racing_one_chunk(self, tmp_path):
+        """Regression: two threads publishing the same chunk concurrently
+        leave exactly one valid, readable copy behind."""
+        spec = small_spec()
+        reference = run_sweep(spec, chunk_size=8)
+        columns = {name: reference.columns[name][:8] for name in COLUMNS}
+        store = SweepStore(tmp_path)
+        barrier = threading.Barrier(2)
+
+        def racer(_):
+            barrier.wait()
+            return store.put_chunk(spec, 0, 8, columns)
+
+        with concurrent.futures.ThreadPoolExecutor(max_workers=2) as pool:
+            paths = list(pool.map(racer, range(2)))
+        assert paths[0] == paths[1]
+        loaded = store.get_chunk(spec.spec_hash, 0, 8, COLUMNS)
+        assert loaded is not None
+        for name in COLUMNS:
+            assert np.array_equal(loaded[name], columns[name], equal_nan=True)
+        # No stray temp files left behind by either racer.
+        leftovers = list(store.entry_dir(spec.spec_hash).glob("*.tmp"))
+        assert leftovers == []
+
     def test_parallel_writers_do_not_corrupt(self, tmp_path):
         spec = small_spec()
         reference = run_sweep(spec, chunk_size=2)

@@ -1,0 +1,159 @@
+"""Single-flight semantics: one evaluation per key, safe under cancellation."""
+
+import asyncio
+
+import pytest
+
+from repro.service.coalesce import SingleFlight
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestSingleFlight:
+    def test_concurrent_identical_keys_compute_once(self):
+        async def main():
+            flights = SingleFlight()
+            calls = []
+
+            async def factory():
+                calls.append(1)
+                await asyncio.sleep(0)
+                return object()
+
+            results = await asyncio.gather(
+                *(flights.run("k", factory) for _ in range(50))
+            )
+            assert len(calls) == 1
+            assert all(r is results[0] for r in results)
+            assert flights.leads == 1
+            assert flights.joins == 49
+            assert len(flights) == 0
+
+        run(main())
+
+    def test_distinct_keys_do_not_coalesce(self):
+        async def main():
+            flights = SingleFlight()
+            calls = []
+
+            async def factory():
+                calls.append(1)
+                await asyncio.sleep(0)
+                return len(calls)
+
+            await asyncio.gather(
+                flights.run("a", factory), flights.run("b", factory)
+            )
+            assert len(calls) == 2
+            assert flights.leads == 2 and flights.joins == 0
+
+        run(main())
+
+    def test_sequential_calls_compute_each_time(self):
+        async def main():
+            flights = SingleFlight()
+
+            async def factory():
+                return object()
+
+            first = await flights.run("k", factory)
+            second = await flights.run("k", factory)
+            assert first is not second
+            assert flights.leads == 2
+
+        run(main())
+
+    def test_exception_is_shared_by_every_waiter(self):
+        async def main():
+            flights = SingleFlight()
+
+            async def factory():
+                await asyncio.sleep(0)
+                raise ValueError("shared failure")
+
+            results = await asyncio.gather(
+                *(flights.run("k", factory) for _ in range(5)),
+                return_exceptions=True,
+            )
+            assert all(isinstance(r, ValueError) for r in results)
+            # One flight, one exception object, delivered to everyone.
+            assert len({id(r) for r in results}) == 1
+            assert len(flights) == 0
+
+        run(main())
+
+    def test_cancelled_leader_hands_off_to_a_waiter(self):
+        async def main():
+            flights = SingleFlight()
+            gate = asyncio.Event()
+            starts = []
+
+            async def factory():
+                starts.append(1)
+                if len(starts) == 1:
+                    await gate.wait()  # the leader parks here and dies here
+                await asyncio.sleep(0)  # yield so retrying waiters re-coalesce
+                return "value"
+
+            leader = asyncio.ensure_future(flights.run("k", factory))
+            await asyncio.sleep(0)
+            waiters = [
+                asyncio.ensure_future(flights.run("k", factory)) for _ in range(3)
+            ]
+            await asyncio.sleep(0)
+            leader.cancel()
+            results = await asyncio.gather(*waiters)
+            assert results == ["value"] * 3
+            assert len(starts) == 2  # aborted lead + the handoff re-lead
+            assert flights.handoffs >= 1
+            assert leader.cancelled()
+            assert len(flights) == 0
+
+        run(main())
+
+    def test_cancelled_waiter_does_not_disturb_the_flight(self):
+        async def main():
+            flights = SingleFlight()
+            gate = asyncio.Event()
+
+            async def factory():
+                await gate.wait()
+                return "value"
+
+            leader = asyncio.ensure_future(flights.run("k", factory))
+            await asyncio.sleep(0)
+            waiter = asyncio.ensure_future(flights.run("k", factory))
+            await asyncio.sleep(0)
+            waiter.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await waiter
+            gate.set()
+            assert await leader == "value"
+            assert flights.handoffs == 0
+            assert len(flights) == 0
+
+        run(main())
+
+    def test_inflight_keys_reports_active_flights(self):
+        async def main():
+            flights = SingleFlight()
+            gate = asyncio.Event()
+
+            async def factory():
+                await gate.wait()
+                return None
+
+            tasks = [
+                asyncio.ensure_future(flights.run(key, factory))
+                for key in ("b", "a")
+            ]
+            await asyncio.sleep(0)
+            assert flights.inflight_keys() == ["a", "b"]
+            assert "a" in flights and "zzz" not in flights
+            gate.set()
+            await asyncio.gather(*tasks)
+            assert flights.inflight_keys() == []
+
+        run(main())

@@ -1,0 +1,154 @@
+"""The stdlib HTTP/JSON front: envelopes over a socket, status mapping."""
+
+import asyncio
+import json
+
+from repro.service import AdmissionController, FacilityService
+from repro.service.http import ServiceHTTPServer
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def http(port, method, path, body=None):
+    """Minimal HTTP/1.1 client; returns (status, headers, json_body)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    payload = b"" if body is None else json.dumps(body).encode()
+    head = (
+        f"{method} {path} HTTP/1.1\r\nHost: test\r\n"
+        f"Content-Length: {len(payload)}\r\nConnection: close\r\n\r\n"
+    )
+    writer.write(head.encode() + payload)
+    await writer.drain()
+    status_line = await reader.readline()
+    status = int(status_line.split()[1])
+    headers = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode().partition(":")
+        headers[name.strip().lower()] = value.strip()
+    body_bytes = await reader.readexactly(int(headers["content-length"]))
+    writer.close()
+    await writer.wait_closed()
+    return status, headers, json.loads(body_bytes)
+
+
+async def with_server(service, fn):
+    server = ServiceHTTPServer(service, port=0)
+    await server.start()
+    try:
+        return await fn(server.port)
+    finally:
+        await server.stop()
+
+
+class TestRoutes:
+    def test_request_route_answers_envelopes(self):
+        async def main():
+            service = FacilityService()
+
+            async def scenario(port):
+                status, _, body = await http(
+                    port,
+                    "POST",
+                    "/v1/request",
+                    {
+                        "v": 1,
+                        "method": "classify_regime",
+                        "params": {"at_ci_g_per_kwh": 190.0},
+                        "tenant": "curl",
+                    },
+                )
+                assert status == 200
+                assert body["ok"] is True
+                assert body["result"]["regime"] == "scope2-dominated"
+
+            await with_server(service, scenario)
+            assert service.metrics.reconciles()
+            assert service.metrics.requests_in == {"curl": 1}
+
+        run(main())
+
+    def test_health_and_metrics_routes(self):
+        async def main():
+            service = FacilityService()
+
+            async def scenario(port):
+                status, _, body = await http(port, "GET", "/v1/health")
+                assert status == 200 and body["ok"] and body["in_flight"] == 0
+                status, _, body = await http(port, "GET", "/v1/metrics")
+                assert status == 200
+                assert body["requests_in"] == {}
+
+            await with_server(service, scenario)
+
+        run(main())
+
+    def test_error_status_mapping(self):
+        async def main():
+            service = FacilityService()
+
+            async def scenario(port):
+                status, _, body = await http(
+                    port, "POST", "/v1/request", {"v": 99, "method": "emissions"}
+                )
+                assert status == 400
+                assert body["error"]["code"] == "unsupported-version"
+                status, _, body = await http(port, "GET", "/nope")
+                assert status == 404
+                assert body["error"]["code"] == "not-found"
+
+            await with_server(service, scenario)
+
+        run(main())
+
+    def test_garbage_body_is_a_400_not_a_crash(self):
+        async def main():
+            service = FacilityService()
+
+            async def scenario(port):
+                reader, writer = await asyncio.open_connection("127.0.0.1", port)
+                writer.write(
+                    b"POST /v1/request HTTP/1.1\r\nHost: t\r\n"
+                    b"Content-Length: 9\r\nConnection: close\r\n\r\nnot json!"
+                )
+                await writer.drain()
+                status = int((await reader.readline()).split()[1])
+                writer.close()
+                await writer.wait_closed()
+                assert status == 400
+
+            await with_server(service, scenario)
+
+        run(main())
+
+    def test_rate_limited_requests_carry_retry_after(self):
+        async def main():
+            service = FacilityService(
+                admission=AdmissionController(rate_per_s=1.0, burst=1.0),
+                clock=lambda: 0.0,
+            )
+
+            async def scenario(port):
+                envelope = {
+                    "v": 1,
+                    "method": "classify_regime",
+                    "params": {"at_ci_g_per_kwh": 190.0},
+                    "tenant": "noisy",
+                }
+                status, _, _ = await http(port, "POST", "/v1/request", envelope)
+                assert status == 200
+                status, headers, body = await http(
+                    port, "POST", "/v1/request", envelope
+                )
+                assert status == 429
+                assert body["error"]["code"] == "rate-limited"
+                assert int(headers["retry-after"]) >= 1
+
+            await with_server(service, scenario)
+            assert service.metrics.reconciles()
+
+        run(main())

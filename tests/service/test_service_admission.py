@@ -1,0 +1,101 @@
+"""Admission control: token buckets, depth shedding, deterministic time."""
+
+import pytest
+
+from repro.errors import AdmissionError, ConfigurationError
+from repro.service.admission import AdmissionController, TokenBucket
+
+
+class TestTokenBucket:
+    def test_starts_full_and_drains(self):
+        bucket = TokenBucket(rate_per_s=1.0, burst=3)
+        assert all(bucket.try_acquire(0.0) for _ in range(3))
+        assert not bucket.try_acquire(0.0)
+
+    def test_refills_at_rate(self):
+        bucket = TokenBucket(rate_per_s=2.0, burst=2)
+        assert bucket.try_acquire(0.0) and bucket.try_acquire(0.0)
+        assert not bucket.try_acquire(0.0)
+        assert bucket.try_acquire(0.5)  # 0.5 s * 2/s = 1 token back
+        assert not bucket.try_acquire(0.5)
+
+    def test_never_exceeds_burst(self):
+        bucket = TokenBucket(rate_per_s=100.0, burst=2)
+        assert bucket.try_acquire(1000.0)
+        assert bucket.try_acquire(1000.0)
+        assert not bucket.try_acquire(1000.0)
+
+    def test_time_going_backwards_is_harmless(self):
+        bucket = TokenBucket(rate_per_s=1.0, burst=1)
+        assert bucket.try_acquire(10.0)
+        assert not bucket.try_acquire(5.0)  # no refill from the past
+        assert bucket.try_acquire(11.0)
+
+    def test_retry_after_matches_the_deficit(self):
+        bucket = TokenBucket(rate_per_s=2.0, burst=1)
+        assert bucket.try_acquire(0.0)
+        assert bucket.retry_after_s(0.0) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TokenBucket(rate_per_s=0.0, burst=1)
+        with pytest.raises(ConfigurationError):
+            TokenBucket(rate_per_s=1.0, burst=0)
+
+    def test_state_round_trip(self):
+        bucket = TokenBucket(rate_per_s=3.0, burst=5)
+        bucket.try_acquire(2.0)
+        clone = TokenBucket(1.0, 1.0)
+        clone.load_state_dict(bucket.state_dict())
+        assert clone.state_dict() == bucket.state_dict()
+
+
+class TestAdmissionController:
+    def test_admits_within_limits(self):
+        controller = AdmissionController(rate_per_s=10.0, burst=10.0)
+        controller.admit("t", now_s=0.0, in_flight=0)  # no raise
+
+    def test_rate_limits_with_retry_hint(self):
+        controller = AdmissionController(rate_per_s=1.0, burst=2.0)
+        controller.admit("t", now_s=0.0, in_flight=0)
+        controller.admit("t", now_s=0.0, in_flight=0)
+        with pytest.raises(AdmissionError) as err:
+            controller.admit("t", now_s=0.0, in_flight=0)
+        assert err.value.code == "rate-limited"
+        assert err.value.retry_after_s > 0
+
+    def test_tenants_have_independent_buckets(self):
+        controller = AdmissionController(rate_per_s=1.0, burst=1.0)
+        controller.admit("noisy", now_s=0.0, in_flight=0)
+        with pytest.raises(AdmissionError):
+            controller.admit("noisy", now_s=0.0, in_flight=0)
+        controller.admit("polite", now_s=0.0, in_flight=0)  # unaffected
+
+    def test_per_tenant_overrides(self):
+        controller = AdmissionController(rate_per_s=100.0, burst=100.0)
+        controller.set_tenant_limits("small", rate_per_s=1.0, burst=1.0)
+        controller.admit("small", now_s=0.0, in_flight=0)
+        with pytest.raises(AdmissionError):
+            controller.admit("small", now_s=0.0, in_flight=0)
+
+    def test_depth_shedding_beats_the_bucket(self):
+        """A saturated service must not also drain the tenant's bucket."""
+        controller = AdmissionController(rate_per_s=1.0, burst=1.0, max_in_flight=1)
+        with pytest.raises(AdmissionError) as err:
+            controller.admit("t", now_s=0.0, in_flight=1)
+        assert err.value.code == "overloaded"
+        controller.admit("t", now_s=0.0, in_flight=0)  # bucket still full
+
+    def test_state_round_trip_preserves_bucket_levels(self):
+        controller = AdmissionController(rate_per_s=5.0, burst=5.0, max_in_flight=7)
+        controller.admit("a", now_s=0.0, in_flight=0)
+        controller.set_tenant_limits("b", rate_per_s=1.0, burst=2.0)
+        restored = AdmissionController()
+        restored.load_state_dict(controller.state_dict())
+        assert restored.state_dict() == controller.state_dict()
+        assert restored.max_in_flight == 7
+        assert restored.bucket("a").tokens == pytest.approx(4.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionController(max_in_flight=0)

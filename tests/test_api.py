@@ -101,3 +101,54 @@ class TestSweep:
         rerun = session.sweep()
         assert not rerun.meta.memory_hit
         assert rerun.meta.disk_hits == 0
+
+
+def same_row(a: dict, b: dict) -> bool:
+    """Scalar-row equality that also equates NaN cells (e.g. perf_ratio)."""
+    import json
+
+    return json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+
+class TestThinClientOfTheServiceCore:
+    """Post-service refactor: same surface, shared core, deprecation shims."""
+
+    def test_deprecated_internals_warn_but_still_answer(self):
+        session = FacilitySession()
+        with pytest.warns(DeprecationWarning, match="core.point_spec"):
+            spec = session._point_spec(None)
+        assert spec.n_scenarios == 1
+        with pytest.warns(DeprecationWarning, match="core.evaluate_point"):
+            row = session._evaluate(None)
+        assert same_row(row, session.emissions())
+
+    def test_methods_delegate_to_the_same_core_answers(self):
+        session = FacilitySession(ci_g_per_kwh=190.0)
+        core = session.core
+        assert same_row(session.emissions(), core.emissions(session.params))
+        assert session.mean_ci_g_per_kwh() == core.mean_ci_g_per_kwh(session.params)
+        assert session.classify_regime() is core.classify_regime(session.params)
+
+    def test_sessions_can_share_one_core_and_its_caches(self):
+        from repro.service import FacilityCore
+
+        core = FacilityCore()
+        a = FacilitySession(core=core)
+        b = FacilitySession(core=core)
+        assert a.memory_cache is b.memory_cache
+        a.sweep()
+        assert b.sweep().meta.memory_hit  # b rides a's cache
+
+    def test_core_and_cache_dir_are_mutually_exclusive(self, tmp_path):
+        from repro.service import FacilityCore
+
+        with pytest.raises(ConfigurationError):
+            FacilitySession(core=FacilityCore(), cache_dir=tmp_path)
+
+    def test_parameter_attributes_remain_readable_and_assignable(self):
+        session = FacilitySession()
+        assert session.n_nodes == 5860
+        baseline = session.emissions()["total_tco2e"]
+        session.n_nodes = 1000
+        assert session.params.n_nodes == 1000
+        assert session.emissions()["total_tco2e"] < baseline

@@ -23,6 +23,7 @@ PACKAGES = [
     "repro.engine",
     "repro.engine.cli",
     "repro.lint",
+    "repro.service",
 ]
 
 
