@@ -86,6 +86,8 @@ async def _bench() -> dict:
     # --- Gate 2: byte-identical to the direct FacilitySession path.
     session = FacilitySession(core=FacilityCore())
     direct = payload_sweep(
+        # lint: allow-blocking -- gate 2 compares against the direct engine
+        # path; the bench runs it between load phases, with the loop idle
         session.sweep(chunk_size=SWEEP_PARAMS["chunk_size"], **SWEEP_PARAMS["overrides"])
     )
     canonical = lambda d: json.dumps(d, sort_keys=True, separators=(",", ":"))  # noqa: E731

@@ -101,6 +101,8 @@ class EmissionsModel:
         """Annual operational emissions at a flat carbon intensity."""
         if ci_g_per_kwh < 0:
             raise ConfigurationError("carbon intensity must be non-negative")
+        # lint: disable=REP104 -- tonnes over one accounting year IS the
+        # per-year rate; the time division is implicit in annual_energy_kwh
         return g_to_tonnes(self.annual_energy_kwh() * ci_g_per_kwh)
 
     @staticmethod

@@ -25,7 +25,9 @@ from .findings import Finding
 
 __all__ = ["BASELINE_VERSION", "DEFAULT_BASELINE_NAME", "Baseline"]
 
-BASELINE_VERSION = 1
+#: Version 2 keys fingerprints on the finding's enclosing function scope in
+#: addition to the line content; version-1 files must be regenerated.
+BASELINE_VERSION = 2
 DEFAULT_BASELINE_NAME = "lint-baseline.json"
 
 
@@ -48,6 +50,7 @@ class Baseline:
             f.fingerprint: {
                 "path": f.path,
                 "code": f.code,
+                "scope": f.scope,
                 "snippet": f.snippet.strip(),
             }
             for f in findings
@@ -68,7 +71,7 @@ class Baseline:
         ):
             raise LintError(
                 f"baseline {path} is not a version-{BASELINE_VERSION} "
-                "repro-lint baseline"
+                "repro-lint baseline; regenerate it with --write-baseline"
             )
         return cls(payload["fingerprints"])
 
@@ -87,3 +90,12 @@ class Baseline:
         """Entries no longer matched by any current finding (fixed since)."""
         live = {f.fingerprint for f in findings}
         return sorted(fp for fp in self.entries if fp not in live)
+
+    def growth_vs(self, older: "Baseline") -> list[str]:
+        """Fingerprints present here but not in ``older`` (burn-down rule).
+
+        The baseline may shrink — findings get fixed and their entries
+        ratcheted out — but never grow: CI fails when this list is
+        non-empty against the merge base.
+        """
+        return sorted(fp for fp in self.entries if fp not in older.entries)

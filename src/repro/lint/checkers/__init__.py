@@ -7,6 +7,24 @@ way by calling :func:`repro.lint.registry.register` themselves.
 
 from __future__ import annotations
 
-from . import determinism, floatcmp, publicapi, statedict, units
+from . import (
+    asyncsafety,
+    determinism,
+    floatcmp,
+    publicapi,
+    statedict,
+    statedictclosure,
+    unitflow,
+    units,
+)
 
-__all__ = ["units", "determinism", "floatcmp", "statedict", "publicapi"]
+__all__ = [
+    "units",
+    "unitflow",
+    "determinism",
+    "floatcmp",
+    "statedict",
+    "statedictclosure",
+    "asyncsafety",
+    "publicapi",
+]

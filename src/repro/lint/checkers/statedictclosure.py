@@ -1,0 +1,177 @@
+"""Cross-module state-dict closure checker (REP403, REP404).
+
+REP401/402 check one class in one file; these codes close the loop over the
+whole tree: a supervisor's ``state_dict`` that snapshots ``self.scheduler``
+but whose ``load_state_dict`` never restores it silently drops state on
+resume, and a component referenced inside a snapshot must itself carry the
+symmetric pair wherever its class is defined.
+
+* **REP403** — within one class, the set of ``self.X`` components snapshot
+  in ``state_dict`` (``self.X.state_dict()``) differs from the set restored
+  in ``load_state_dict`` (``self.X.load_state_dict(...)``).  Either
+  direction is a bug: snapshot-only drops state on resume, restore-only
+  reads keys the snapshot never wrote.
+* **REP404** — a component referenced from either method resolves (through
+  the project graph's attribute types, cross-module) to a class that lacks
+  ``state_dict`` or ``load_state_dict``, bases included.  Unresolvable
+  attribute types are skipped, never guessed.
+
+Locals aliased directly from ``self`` (``core = self.core`` then
+``core.state_dict()``) count as references to the underlying attribute, and
+both restore idioms count as restoring: ``self.X.load_state_dict(...)`` in
+place, and reconstruction — ``self.X = Accumulator.restore(state["x"])`` or
+any assignment to ``self.X`` whose right side reads the state parameter.
+Loop variables over containers are out of scope (documented limit) — both
+sides of a symmetric container loop skip together, so no false REP403.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..context import ProjectContext
+from ..findings import Finding
+from ..graph import ClassInfo, ProjectGraph
+from ..registry import Checker, register
+
+__all__ = ["StateDictClosureChecker"]
+
+_PAIR = ("state_dict", "load_state_dict")
+
+
+def _component_refs(
+    graph: ProjectGraph, cls: ClassInfo, method_name: str, call_name: str
+) -> dict[str, ast.AST]:
+    """``self.X`` attrs on which ``call_name`` is invoked inside a method."""
+    func = graph.functions.get(cls.methods.get(method_name, ""))
+    if func is None:
+        return {}
+    aliases: dict[str, str] = {}  # local -> self attr
+    for node in ast.walk(func.node):
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and isinstance(node.value, ast.Attribute)
+            and isinstance(node.value.value, ast.Name)
+            and node.value.value.id == "self"
+        ):
+            aliases[node.targets[0].id] = node.value.attr
+    refs: dict[str, ast.AST] = {}
+    for node in ast.walk(func.node):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == call_name
+        ):
+            continue
+        receiver = node.func.value
+        attr: str | None = None
+        if (
+            isinstance(receiver, ast.Attribute)
+            and isinstance(receiver.value, ast.Name)
+            and receiver.value.id == "self"
+        ):
+            attr = receiver.attr
+        elif isinstance(receiver, ast.Name) and receiver.id in aliases:
+            attr = aliases[receiver.id]
+        if attr is not None and attr not in refs:
+            refs[attr] = node
+    return refs
+
+
+def _state_assigned_attrs(graph: ProjectGraph, cls: ClassInfo) -> set[str]:
+    """Attrs reconstructed in ``load_state_dict`` from the state parameter."""
+    func = graph.functions.get(cls.methods.get("load_state_dict", ""))
+    if func is None:
+        return set()
+    args = func.node.args.args
+    if len(args) < 2:  # (self, state)
+        return set()
+    state_name = args[1].arg
+    out: set[str] = set()
+    for node in ast.walk(func.node):
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if value is None or not any(
+            isinstance(n, ast.Name) and n.id == state_name
+            for n in ast.walk(value)
+        ):
+            continue
+        for target in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                out.add(target.attr)
+    return out
+
+
+@register
+class StateDictClosureChecker(Checker):
+    """Nested checkpoint state must round-trip: no component left behind."""
+
+    name = "state-dict-closure"
+    scope = "project"
+    codes = {
+        "REP403": "component snapshot/restore sets disagree across the pair",
+        "REP404": "referenced component class lacks the state-dict pair",
+    }
+
+    def check_project(self, project: ProjectContext) -> Iterable[Finding]:
+        graph = project.graph()
+        for qual in sorted(graph.classes):
+            cls = graph.classes[qual]
+            if not all(m in cls.methods for m in _PAIR):
+                continue
+            ctx = project.by_rel(cls.rel)
+            if ctx is None:
+                continue
+            snapshot = _component_refs(graph, cls, "state_dict", "state_dict")
+            restored = _component_refs(
+                graph, cls, "load_state_dict", "load_state_dict"
+            )
+            reconstructed = _state_assigned_attrs(graph, cls)
+            for attr in sorted(set(snapshot) - set(restored) - reconstructed):
+                yield self.finding(
+                    ctx,
+                    graph.functions[cls.methods["load_state_dict"]].node,
+                    "REP403",
+                    f"{cls.node.name}.state_dict snapshots self.{attr} but "
+                    "load_state_dict never restores it; resume drops its "
+                    "state",
+                )
+            for attr in sorted(set(restored) - set(snapshot)):
+                yield self.finding(
+                    ctx,
+                    graph.functions[cls.methods["state_dict"]].node,
+                    "REP403",
+                    f"{cls.node.name}.load_state_dict restores self.{attr} "
+                    "but state_dict never snapshots it; the restored key "
+                    "cannot exist in a checkpoint",
+                )
+            for attr, node in sorted({**snapshot, **restored}.items()):
+                component = cls.attr_types.get(attr)
+                if component is None:
+                    continue  # type not statically known: don't guess
+                missing = [
+                    m
+                    for m in _PAIR
+                    if not graph.class_has_method(component, m)
+                ]
+                if missing:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "REP404",
+                        f"self.{attr} is checkpointed by {cls.node.name} "
+                        f"but its class {component} lacks "
+                        f"{' and '.join(missing)}; nested state cannot "
+                        "round-trip",
+                    )

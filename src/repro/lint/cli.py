@@ -6,11 +6,14 @@ Examples::
     repro lint src --select REP3          # float-equality only
     repro lint src --ignore REP101        # all but the suffix-spelling check
     repro lint src --format json          # stable machine-readable report
+    repro lint src --format sarif         # GitHub code-scanning annotations
+    repro lint --explain REP601           # contract + example fix for a code
     repro lint src --write-baseline       # grandfather current findings
     repro lint src --baseline lint-baseline.json   # fail only on NEW findings
+    repro lint --check-baseline-growth old.json new.json  # burn-down rule
 
-Exit codes: 0 clean (or all findings baselined), 1 new findings or parse
-errors, 2 usage/configuration error.
+Exit codes: 0 clean (or all findings baselined), 1 new findings, parse
+errors or baseline growth, 2 usage/configuration error.
 """
 
 from __future__ import annotations
@@ -60,9 +63,26 @@ def build_lint_parser(prog: str = "repro lint") -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--explain",
+        metavar="CODE",
+        default=None,
+        help="print the contract and an example fix for one code and exit",
+    )
+    parser.add_argument(
+        "--check-baseline-growth",
+        nargs=2,
+        metavar=("OLD", "NEW"),
+        default=None,
+        help=(
+            "compare two baseline files and exit 1 if NEW contains "
+            "fingerprints absent from OLD (missing files count as empty); "
+            "the burn-down rule CI enforces against the merge base"
+        ),
     )
     parser.add_argument(
         "--baseline",
@@ -138,6 +158,43 @@ def lint_main(argv: list[str] | None = None, prog: str = "repro lint") -> int:
             print(f"{code}  {description}")
         return 0
 
+    if args.explain:
+        from .explain import explain
+
+        try:
+            print(explain(args.explain))
+        except (ConfigurationError, LintError) as exc:
+            print(f"repro lint: {exc}", file=sys.stderr)
+            return 2
+        return 0
+
+    if args.check_baseline_growth:
+        old_path, new_path = (Path(p) for p in args.check_baseline_growth)
+        try:
+            old = Baseline.load(old_path) if old_path.is_file() else Baseline()
+            new = Baseline.load(new_path) if new_path.is_file() else Baseline()
+        except LintError as exc:
+            print(f"repro lint: {exc}", file=sys.stderr)
+            return 2
+        grown = new.growth_vs(old)
+        if grown:
+            print(
+                f"baseline grew by {len(grown)} entr(y/ies) — the baseline "
+                "may only shrink; fix the findings instead:"
+            )
+            for fp in grown:
+                entry = new.entries.get(fp, {})
+                print(
+                    f"  {fp}  {entry.get('path', '?')}  "
+                    f"{entry.get('code', '?')}  {entry.get('snippet', '')}"
+                )
+            return 1
+        print(
+            f"baseline ok: {len(new)} entr(y/ies), none added vs "
+            f"{old_path}"
+        )
+        return 0
+
     root = find_project_root(Path(args.paths[0]))
     baseline_path: Path | None = None
     if args.baseline:
@@ -173,6 +230,10 @@ def lint_main(argv: list[str] | None = None, prog: str = "repro lint") -> int:
 
     if args.format == "json":
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    elif args.format == "sarif":
+        from .sarif import to_sarif
+
+        print(json.dumps(to_sarif(report), indent=2))
     else:
         print(_render_text(report, baseline_path))
     return report.exit_code

@@ -42,6 +42,9 @@ class FileContext:
     tree: ast.Module
     lines: list[str] = field(default_factory=list)
     suppressions: dict[int, set[str]] = field(default_factory=dict)
+    _scope_spans: list[tuple[int, int, str]] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @classmethod
     def from_path(cls, path: Path, root: Path) -> "FileContext":
@@ -75,6 +78,47 @@ class FileContext:
         """Whether an in-source annotation silences ``code`` at ``lineno``."""
         return is_suppressed(self.suppressions, lineno, code)
 
+    def enclosing_scope(self, lineno: int) -> str:
+        """Dotted in-file scope of a line (``Class.method``), ``<module>`` else.
+
+        Baseline fingerprints key on this so grandfathered findings survive
+        edits elsewhere in the file: only touching the enclosing function
+        itself invalidates the entry.
+        """
+        if self._scope_spans is None:
+            spans: list[tuple[int, int, str]] = []
+            stack: list[str] = []
+
+            def visit(node: ast.AST) -> None:
+                for child in ast.iter_child_nodes(node):
+                    if isinstance(
+                        child,
+                        (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+                    ):
+                        stack.append(child.name)
+                        if not isinstance(child, ast.ClassDef):
+                            spans.append(
+                                (
+                                    child.lineno,
+                                    child.end_lineno or child.lineno,
+                                    ".".join(stack),
+                                )
+                            )
+                        visit(child)
+                        stack.pop()
+                    else:
+                        visit(child)
+
+            visit(self.tree)
+            self._scope_spans = spans
+        best = "<module>"
+        best_size: int | None = None
+        for start, end, qual in self._scope_spans:
+            size = end - start
+            if start <= lineno <= end and (best_size is None or size <= best_size):
+                best, best_size = qual, size
+        return best
+
 
 @dataclass
 class ProjectContext:
@@ -82,6 +126,30 @@ class ProjectContext:
 
     root: Path
     files: list[FileContext]
+    _graph: object | None = field(default=None, init=False, repr=False, compare=False)
+    _signatures: object | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def graph(self):
+        """The whole-program :class:`~repro.lint.graph.ProjectGraph` (lazy).
+
+        Built on first use and shared by every project-scoped checker in the
+        run, so the import/call graph is constructed at most once.
+        """
+        if self._graph is None:
+            from .graph import ProjectGraph
+
+            self._graph = ProjectGraph(self)
+        return self._graph
+
+    def signature_table(self):
+        """The interprocedural :class:`~repro.lint.signatures.SignatureTable`."""
+        if self._signatures is None:
+            from .signatures import SignatureTable
+
+            self._signatures = SignatureTable(self.graph())
+        return self._signatures
 
     def by_rel(self, rel: str) -> FileContext | None:
         """The context for a root-relative posix path, if it was collected."""

@@ -8,7 +8,7 @@ stable — CI diffs of lint output are meaningful.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Iterable, Sequence
 
@@ -175,6 +175,8 @@ def run_lint(
         ctx = ctx_by_rel.get(finding.path)
         if ctx is not None and ctx.is_suppressed(finding.line, finding.code):
             continue
+        if ctx is not None and not finding.scope:
+            finding = replace(finding, scope=ctx.enclosing_scope(finding.line))
         report.findings.append(finding)
     report.findings.sort()
 

@@ -2,9 +2,10 @@
 
 A finding pins a contract violation to a file, line and column, carries the
 machine code (``REPxxx``) that selects/suppresses it, and knows how to
-fingerprint itself for the baseline: the fingerprint hashes the *content* of
-the offending line rather than its number, so unrelated edits above a
-grandfathered finding do not resurrect it.
+fingerprint itself for the baseline: the fingerprint hashes the enclosing
+function scope plus the *content* of the offending line rather than its
+number, so unrelated edits elsewhere in the file do not resurrect a
+grandfathered finding — only touching the function it lives in does.
 """
 
 from __future__ import annotations
@@ -26,17 +27,19 @@ class Finding:
     message: str = field(compare=False)
     checker: str = field(compare=False, default="")
     snippet: str = field(compare=False, default="")
+    scope: str = field(compare=False, default="")  # enclosing function span
 
     @property
     def fingerprint(self) -> str:
-        """Stable identity for baselining: path + code + offending line text.
+        """Stable identity for baselining: path + code + scope + line text.
 
         Line numbers are deliberately excluded so findings survive the file
-        shifting around them; two identical violations on identical lines in
-        the same file share a fingerprint, which is the conservative choice
-        (fixing one un-baselines the other).
+        shifting around them; the enclosing function scope (``Class.method``,
+        ``<module>``) disambiguates identical lines in different functions,
+        so fixing one occurrence does not un-baseline its twin elsewhere and
+        edits to *other* functions never invalidate an entry.
         """
-        payload = f"{self.path}::{self.code}::{self.snippet.strip()}"
+        payload = f"{self.path}::{self.code}::{self.scope}::{self.snippet.strip()}"
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
     def to_dict(self) -> dict:
@@ -49,6 +52,7 @@ class Finding:
             "message": self.message,
             "checker": self.checker,
             "snippet": self.snippet.strip(),
+            "scope": self.scope,
             "fingerprint": self.fingerprint,
         }
 

@@ -1,0 +1,363 @@
+"""Per-function unit signatures for interprocedural dimension flow.
+
+The suffix convention (DESIGN.md §6) names units *inside one expression*;
+this module lifts it to function boundaries so REP1xx can follow a kilowatt
+value from ``repro.node`` through ``repro.facility`` into
+``repro.scheduler.accounting`` and flag the first place it is treated as
+kilowatt-hours.  Three sources feed a :class:`UnitSignature` per function,
+strongest first:
+
+1. **Explicit annotation** — ``# lint: signature(power: kw, duration: s ->
+   kwh)`` on (or immediately above) the ``def``.  ``none`` declares a
+   parameter or return deliberately unitless, which is how true
+   false-positives are silenced without suppressing whole codes.
+2. **Name suffixes** — ``def cdu_power_kw(...)`` returns kilowatts,
+   parameter ``duration_s`` is seconds, exactly as REP102 already reads
+   them locally.
+3. **Return-flow inference** — a fixpoint over the call graph: a function
+   whose every ``return`` expression carries one agreed unit (directly or
+   through already-resolved callees) adopts that unit.
+
+Unknown stays unknown: the table never guesses, so checkers built on it are
+silent rather than noisy when resolution fails.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from ..errors import LintError
+from .annotations import parse_signature_directives
+from .graph import FunctionInfo, ProjectGraph
+from .unitspec import DIMENSIONS, UnitInfo, suffix_of
+
+__all__ = [
+    "ResolvedUnit",
+    "SignatureTable",
+    "UnitSignature",
+    "parse_signature_spec",
+    "resolve_unit_token",
+]
+
+#: Spelling for "deliberately unitless" in signature annotations.
+UNITLESS = "none"
+
+_MAX_FIXPOINT_PASSES = 10
+
+
+def resolve_unit_token(token: str) -> UnitInfo | None:
+    """The :class:`UnitInfo` a signature token names; ``None`` for ``none``.
+
+    Raises :class:`LintError` for tokens the dimension table does not know —
+    a typo in a signature annotation must be loud, not silently unknown.
+    """
+    token = token.strip().lower()
+    if token == UNITLESS:
+        return None
+    info = DIMENSIONS.get(token) or suffix_of(f"x_{token}")
+    if info is None:
+        raise LintError(
+            f"unknown unit token {token!r} in signature annotation "
+            f"(known: {', '.join(sorted(DIMENSIONS))}, or 'none')"
+        )
+    return info
+
+
+def parse_signature_spec(spec: str) -> tuple[dict[str, str], str | None]:
+    """``({param: token}, return_token)`` for one ``signature(...)`` body.
+
+    Grammar: ``name: token, name: token -> token`` — the parameter list, the
+    return clause, or both may be present (``-> kwh`` alone annotates just
+    the return).  Tokens are validated by the caller via
+    :func:`resolve_unit_token`.
+    """
+    params_part, arrow, return_part = spec.partition("->")
+    return_token = return_part.strip() if arrow else None
+    if arrow and not return_token:
+        raise LintError(f"signature annotation {spec!r} has an empty return clause")
+    params: dict[str, str] = {}
+    for chunk in params_part.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        name, colon, token = chunk.partition(":")
+        name, token = name.strip(), token.strip()
+        if not colon or not name or not token:
+            raise LintError(
+                f"malformed signature annotation {spec!r}: expected "
+                "'param: unit, ... -> unit'"
+            )
+        params[name] = token
+    return params, return_token
+
+
+@dataclass(frozen=True)
+class UnitSignature:
+    """Known unit facts about one function's parameters and return."""
+
+    params: dict[str, UnitInfo] = field(default_factory=dict)
+    unitless_params: frozenset[str] = frozenset()
+    returns: UnitInfo | None = None
+    returns_unitless: bool = False
+    origin: str = "suffix"  # "annotation" | "suffix" | "inferred"
+
+    def param_unit(self, name: str) -> UnitInfo | None:
+        return self.params.get(name)
+
+
+@dataclass(frozen=True)
+class ResolvedUnit:
+    """One expression's unit plus where the knowledge came from."""
+
+    info: UnitInfo
+    display: str  # identifier or callee name, for messages
+    via_call: str | None = None  # callee qualname when read off a signature
+
+
+def _identifier_of(node: ast.expr) -> str | None:
+    """The identifier whose suffix describes this expression's unit."""
+    while True:
+        if isinstance(node, (ast.UnaryOp,)):
+            node = node.operand
+        elif isinstance(node, ast.Subscript):
+            node = node.value
+        elif isinstance(node, ast.Call):
+            node = node.func
+        elif isinstance(node, ast.Await):
+            node = node.value
+        else:
+            break
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+class SignatureTable:
+    """Unit signatures for every function in a :class:`ProjectGraph`."""
+
+    def __init__(self, graph: ProjectGraph) -> None:
+        self.graph = graph
+        self.signatures: dict[str, UnitSignature] = {}
+        self._local_types: dict[str, dict[str, str]] = {}
+        self._build()
+
+    # -- construction -------------------------------------------------------
+
+    def _build(self) -> None:
+        annotated = self._collect_directives()
+        for qual, func in self.graph.functions.items():
+            self.signatures[qual] = self._base_signature(func, annotated.get(qual))
+        self._infer_returns()
+
+    def _collect_directives(self) -> dict[str, tuple[dict[str, str], str | None]]:
+        """Function qualname -> parsed ``signature(...)`` directive."""
+        out: dict[str, tuple[dict[str, str], str | None]] = {}
+        for module, ctx in self.graph.modules.items():
+            funcs = sorted(
+                (f for f in self.graph.functions.values() if f.module == module),
+                key=lambda f: f.node.lineno,
+            )
+            for lineno, standalone, spec in parse_signature_directives(ctx.source):
+                target = self._directive_target(funcs, lineno, standalone)
+                if target is None:
+                    raise LintError(
+                        f"{ctx.rel}:{lineno}: signature annotation does not "
+                        "attach to any function definition"
+                    )
+                try:
+                    out[target.qualname] = parse_signature_spec(spec)
+                except LintError as exc:
+                    raise LintError(f"{ctx.rel}:{lineno}: {exc}") from exc
+        return out
+
+    @staticmethod
+    def _directive_target(
+        funcs: list[FunctionInfo], lineno: int, standalone: bool
+    ) -> FunctionInfo | None:
+        if standalone:
+            following = [f for f in funcs if f.node.lineno > lineno]
+            return min(following, key=lambda f: f.node.lineno, default=None)
+        covering = [
+            f
+            for f in funcs
+            if f.node.lineno
+            <= lineno
+            < (f.node.body[0].lineno if f.node.body else f.node.lineno + 1)
+        ]
+        return max(covering, key=lambda f: f.node.lineno, default=None)
+
+    @staticmethod
+    def _param_names(func: FunctionInfo) -> list[str]:
+        args = func.node.args
+        names = [
+            a.arg for a in [*args.posonlyargs, *args.args, *args.kwonlyargs]
+        ]
+        if names and names[0] in ("self", "cls"):
+            names = names[1:]
+        return names
+
+    def _base_signature(
+        self,
+        func: FunctionInfo,
+        directive: tuple[dict[str, str], str | None] | None,
+    ) -> UnitSignature:
+        param_names = self._param_names(func)
+        params: dict[str, UnitInfo] = {}
+        unitless: set[str] = set()
+        for name in param_names:
+            info = suffix_of(name)
+            if info is not None:
+                params[name] = info
+        returns = suffix_of(func.name)
+        returns_unitless = False
+        origin = "suffix"
+        if directive is not None:
+            declared, return_token = directive
+            for name, token in declared.items():
+                if name not in param_names:
+                    raise LintError(
+                        f"{func.rel}: signature annotation on "
+                        f"{func.qualname} names unknown parameter {name!r}"
+                    )
+                info = resolve_unit_token(token)
+                if info is None:
+                    params.pop(name, None)
+                    unitless.add(name)
+                else:
+                    params[name] = info
+            if return_token is not None:
+                info = resolve_unit_token(return_token)
+                returns = info
+                returns_unitless = info is None
+            origin = "annotation"
+        return UnitSignature(
+            params=params,
+            unitless_params=frozenset(unitless),
+            returns=returns,
+            returns_unitless=returns_unitless,
+            origin=origin,
+        )
+
+    def _infer_returns(self) -> None:
+        """Fixpoint: adopt a return unit when every return agrees on one."""
+        for _ in range(_MAX_FIXPOINT_PASSES):
+            changed = False
+            for qual, func in self.graph.functions.items():
+                sig = self.signatures[qual]
+                if sig.returns is not None or sig.returns_unitless:
+                    continue
+                if sig.origin == "annotation":
+                    continue  # annotated silence is deliberate
+                inferred = self._agreed_return_unit(func)
+                if inferred is not None:
+                    self.signatures[qual] = UnitSignature(
+                        params=sig.params,
+                        unitless_params=sig.unitless_params,
+                        returns=inferred,
+                        returns_unitless=False,
+                        origin="inferred",
+                    )
+                    changed = True
+            if not changed:
+                return
+
+    def _agreed_return_unit(self, func: FunctionInfo) -> UnitInfo | None:
+        nested = {
+            id(f.node)
+            for f in self.graph.functions.values()
+            if f.parent_qualname == func.qualname
+        }
+        units: list[UnitInfo] = []
+        for node in self.graph._walk_own(func, nested):
+            if not isinstance(node, ast.Return) or node.value is None:
+                continue
+            if isinstance(node.value, ast.Constant):
+                continue  # sentinel returns (None, 0) do not veto inference
+            resolved = self.unit_of_expr(node.value, func)
+            if resolved is None:
+                return None  # one opaque return keeps the function unknown
+            units.append(resolved.info)
+        if not units:
+            return None
+        first = units[0]
+        if all(u.token == first.token for u in units[1:]):
+            return first
+        return None
+
+    # -- queries ------------------------------------------------------------
+
+    def signature_of(self, qualname: str) -> UnitSignature | None:
+        return self.signatures.get(qualname)
+
+    def locals_of(self, func: FunctionInfo) -> dict[str, str]:
+        """Cached local-variable class types for call resolution."""
+        cached = self._local_types.get(func.qualname)
+        if cached is None:
+            cached = self.graph._local_types(func)
+            self._local_types[func.qualname] = cached
+        return cached
+
+    def resolve_call(self, call: ast.Call, func: FunctionInfo) -> str | None:
+        return self.graph.resolve_call(call, func, self.locals_of(func))
+
+    def unit_of_expr(
+        self, expr: ast.expr, func: FunctionInfo
+    ) -> ResolvedUnit | None:
+        """The unit an expression carries, suffix- or signature-sourced.
+
+        Suffixes win over inferred signatures: a call ``cdu_power_kw(...)``
+        reads as kilowatts from its visible name (REP102's view); only
+        suffix-less calls consult the callee's signature — exactly the
+        knowledge a per-file checker cannot have.  An *explicit*
+        ``# lint: signature(...)`` annotation on the callee outranks both:
+        ``-> none`` on a misnamed helper declares it unitless and silences
+        the suffix reading.
+        """
+        inner = expr
+        while isinstance(inner, (ast.UnaryOp, ast.Await)):
+            inner = inner.operand if isinstance(inner, ast.UnaryOp) else inner.value
+        annotated: ResolvedUnit | None = None
+        if isinstance(inner, ast.Call):
+            callee = self.resolve_call(inner, func)
+            sig = self.signatures.get(callee) if callee is not None else None
+            if sig is not None and sig.origin == "annotation":
+                if sig.returns is None:
+                    return None  # declared unitless (or deliberately unknown)
+                return ResolvedUnit(
+                    info=sig.returns, display=f"{callee}()", via_call=callee
+                )
+            if sig is not None and sig.returns is not None:
+                annotated = ResolvedUnit(
+                    info=sig.returns, display=f"{callee}()", via_call=callee
+                )
+        name = _identifier_of(expr)
+        if name is not None:
+            info = suffix_of(name)
+            if info is not None:
+                return ResolvedUnit(info=info, display=name)
+        if annotated is not None:
+            return annotated
+        if isinstance(inner, ast.BinOp) and isinstance(
+            inner.op, (ast.Add, ast.Sub)
+        ):
+            left = self.unit_of_expr(inner.left, func)
+            right = self.unit_of_expr(inner.right, func)
+            if (
+                left is not None
+                and right is not None
+                and left.info.token == right.info.token
+            ):
+                return left if left.via_call else right
+        if isinstance(inner, ast.IfExp):
+            body = self.unit_of_expr(inner.body, func)
+            orelse = self.unit_of_expr(inner.orelse, func)
+            if (
+                body is not None
+                and orelse is not None
+                and body.info.token == orelse.info.token
+            ):
+                return body
+        return None

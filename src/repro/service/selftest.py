@@ -124,6 +124,9 @@ async def run_selftest(
 
     session = FacilitySession()  # its own core and caches: independent path
     direct = payload_sweep(
+        # lint: allow-blocking -- the parity phase runs the direct engine
+        # path on purpose: the selftest is sequential, no tenant traffic
+        # shares the loop while it computes
         session.sweep(
             chunk_size=_COALESCE_SWEEP["chunk_size"], **_COALESCE_SWEEP["overrides"]
         )

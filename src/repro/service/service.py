@@ -114,6 +114,10 @@ class FacilityService:
             # task reaches flights.run() and attaches as a waiter first.
             await asyncio.sleep(0)
             self.metrics.record_evaluation(request.method)
+            # lint: allow-blocking -- the single-flight leader evaluates
+            # in-loop by design: one bounded computation serves every
+            # coalesced waiter, and moving it off-loop would break the
+            # deterministic wire-parity guarantee (DESIGN.md, PR 9)
             return self.router.dispatch(request)
 
         try:

@@ -1,0 +1,1 @@
+"""Async-safety fixtures: true/false-positive pairs for REP601/602/603."""

@@ -1,0 +1,13 @@
+"""True positive: read self state, await, write the stale value back."""
+
+import asyncio
+
+
+class Counter:
+    def __init__(self):
+        self._count = 0
+
+    async def incr(self):
+        count = self._count
+        await asyncio.sleep(0)
+        self._count = count + 1

@@ -1,0 +1,12 @@
+"""True positive: the blocking primitive hides one sync call away.
+
+``serve`` never blocks textually — the ``time.sleep`` lives in the
+imported helper, so only call-graph reachability can see it.
+"""
+
+from asyncsafe.blocking_helpers import warm_cache
+
+
+async def serve():
+    cache = warm_cache()
+    return cache

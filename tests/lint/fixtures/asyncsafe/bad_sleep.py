@@ -1,0 +1,8 @@
+"""True positive: a blocking primitive called directly inside a coroutine."""
+
+import time
+
+
+async def tick():
+    time.sleep(0.1)
+    return "ticked"

@@ -1,0 +1,12 @@
+"""True positives: coroutines created and dropped on the floor."""
+
+import asyncio
+
+
+async def flush():
+    await asyncio.sleep(0)
+
+
+async def main():
+    flush()
+    asyncio.sleep(1.0)

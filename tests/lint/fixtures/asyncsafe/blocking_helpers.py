@@ -1,0 +1,14 @@
+"""Sync helpers: one blocks, one carries a sanctioned annotation."""
+
+import time
+
+
+def warm_cache():
+    time.sleep(0.05)
+    return {}
+
+
+def sanctioned_pause():
+    # lint: allow-blocking -- fixture: deliberate pause, callers accept it
+    time.sleep(0.05)
+    return {}

@@ -1,0 +1,12 @@
+"""False-positive guard: every coroutine is awaited."""
+
+import asyncio
+
+
+async def flush():
+    await asyncio.sleep(0)
+
+
+async def main():
+    await flush()
+    await asyncio.sleep(1.0)

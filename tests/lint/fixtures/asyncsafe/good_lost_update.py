@@ -1,0 +1,19 @@
+"""False-positive guards: atomic updates and lock-held read-modify-writes."""
+
+import asyncio
+
+
+class Counter:
+    def __init__(self):
+        self._count = 0
+        self._lock = asyncio.Lock()
+
+    async def incr_atomic(self):
+        await asyncio.sleep(0)
+        self._count += 1
+
+    async def incr_locked(self):
+        async with self._lock:
+            count = self._count
+            await asyncio.sleep(0)
+            self._count = count + 1

@@ -1,0 +1,8 @@
+"""False-positive guard: the async sleep is awaited, nothing blocks."""
+
+import asyncio
+
+
+async def tick():
+    await asyncio.sleep(0.1)
+    return "ticked"

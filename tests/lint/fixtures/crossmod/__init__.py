@@ -1,0 +1,1 @@
+"""Interprocedural fixtures: unit flow across module boundaries."""

@@ -1,0 +1,8 @@
+"""Clean chain, stage 3: accounting derives energy from power and time."""
+
+from crossmod.clean_facility import facility_power_kw
+
+
+def window_energy_kwh(n_nodes, duration_hours):
+    power_kw = facility_power_kw(n_nodes)
+    return power_kw * duration_hours

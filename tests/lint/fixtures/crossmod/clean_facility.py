@@ -1,0 +1,10 @@
+"""Clean chain, stage 2: the facility aggregates node power, still kW."""
+
+from crossmod.clean_node import node_power_kw
+
+OVERHEAD_KW = 120.0
+
+
+def facility_power_kw(n_nodes):
+    power_kw = node_power_kw(n_nodes)
+    return power_kw + OVERHEAD_KW

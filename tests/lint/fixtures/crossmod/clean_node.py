@@ -1,0 +1,5 @@
+"""Clean chain, stage 1: the node model returns kilowatts."""
+
+
+def node_power_kw(n_nodes):
+    return 0.35 * n_nodes

@@ -1,0 +1,13 @@
+"""Leak chain, stage 3: the kW value is silently treated as kWh.
+
+The deliberate cross-module leak: only interprocedural propagation
+(node -> facility -> accounting) can see that ``facility_draw`` carries
+kilowatts into a kilowatt-hour slot.
+"""
+
+from crossmod.leak_facility import facility_draw
+
+
+def month_energy_kwh(n_nodes):
+    energy_kwh = facility_draw(n_nodes)
+    return energy_kwh

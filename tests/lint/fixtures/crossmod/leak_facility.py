@@ -1,0 +1,12 @@
+"""Leak chain, stage 2: the suffix disappears but the unit does not.
+
+``facility_draw`` has no unit suffix, so a per-file checker loses the trail
+here; the signature table infers its return unit (kW) from the returned
+call.
+"""
+
+from crossmod.leak_node import node_power_kw
+
+
+def facility_draw(n_nodes):
+    return node_power_kw(n_nodes)

@@ -1,0 +1,5 @@
+"""Leak chain, stage 1: kilowatts leave the node model."""
+
+
+def node_power_kw(n_nodes):
+    return 0.35 * n_nodes

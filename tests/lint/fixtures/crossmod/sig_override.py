@@ -1,0 +1,39 @@
+"""Signature-annotation fixtures: declaring and silencing units explicitly.
+
+``grid_draw`` carries no suffix but declares its return unit; binding it to
+an energy name (or passing it to an energy parameter) is caught only
+through the annotation.  ``scale_factor_kw`` is the opposite case — a
+misnamed legacy helper whose ``-> none`` annotation declares it unitless,
+silencing what would otherwise be a false positive.
+"""
+
+
+def grid_draw(n_nodes):  # lint: signature(-> kw)
+    return 0.35 * n_nodes
+
+
+def scale_factor_kw(raw):  # lint: signature(-> none) -- dimensionless legacy ratio
+    return raw * 2.0
+
+
+def accumulate(total_kwh):
+    return total_kwh
+
+
+def bind_correctly(n_nodes):
+    power_kw = grid_draw(n_nodes)
+    return power_kw
+
+
+def bind_wrongly(n_nodes):
+    energy_kwh = grid_draw(n_nodes)
+    return energy_kwh
+
+
+def feed_wrong(n_nodes):
+    return accumulate(grid_draw(n_nodes))
+
+
+def silenced(n_nodes):
+    factor = scale_factor_kw(n_nodes)
+    return factor

@@ -1,0 +1,1 @@
+"""State-dict closure fixtures: cross-class round-trip bugs for REP403/404."""

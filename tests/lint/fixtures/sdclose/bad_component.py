@@ -1,0 +1,24 @@
+"""True positives: a checkpointed component that cannot round-trip.
+
+``Feed`` only writes state (REP401, per-file); ``Holder`` checkpoints a
+``Feed`` instance, which cross-module closure flags too (REP404).
+"""
+
+
+class Feed:
+    def __init__(self):
+        self._offset = 0
+
+    def state_dict(self):
+        return {"offset": self._offset}
+
+
+class Holder:
+    def __init__(self):
+        self.feed = Feed()
+
+    def state_dict(self):
+        return {"feed": self.feed.state_dict()}
+
+    def load_state_dict(self, state):
+        self.feed.load_state_dict(state["feed"])

@@ -1,0 +1,29 @@
+"""True positive: a snapshot component is read on load but never applied.
+
+The key sets match (so REP402 stays silent); only component-level closure
+sees that ``self.gauge`` is snapshot but never restored.
+"""
+
+
+class Gauge:
+    def __init__(self):
+        self._level = 0.0
+
+    def state_dict(self):
+        return {"level": self._level}
+
+    def load_state_dict(self, state):
+        self._level = state["level"]
+
+
+class Panel:
+    def __init__(self):
+        self.gauge = Gauge()
+        self._count = 0
+
+    def state_dict(self):
+        return {"gauge": self.gauge.state_dict(), "count": self._count}
+
+    def load_state_dict(self, state):
+        gauge_state = state["gauge"]  # noqa: F841 -- read, never applied
+        self._count = state["count"]

@@ -1,0 +1,34 @@
+"""False-positive guard: reconstruction from state counts as restoring.
+
+``Window.load_state_dict`` rebuilds ``self._acc`` via a ``restore``
+classmethod instead of calling ``load_state_dict`` in place — the other
+sanctioned restore idiom, used by the live processors.
+"""
+
+
+class Accumulator:
+    def __init__(self):
+        self._total = 0.0
+
+    def state_dict(self):
+        return {"total": self._total}
+
+    def load_state_dict(self, state):
+        self._total = state["total"]
+
+    @classmethod
+    def restore(cls, state):
+        acc = cls()
+        acc.load_state_dict(state)
+        return acc
+
+
+class Window:
+    def __init__(self):
+        self._acc = Accumulator()
+
+    def state_dict(self):
+        return {"acc": self._acc.state_dict()}
+
+    def load_state_dict(self, state):
+        self._acc = Accumulator.restore(state["acc"])

@@ -1,0 +1,251 @@
+"""Whole-program lint tests: fixtures, call graph, and unit signatures.
+
+Cross-module fixtures live under ``tests/lint/fixtures/crossmod``,
+``asyncsafe``, and ``sdclose``; ``collect_files`` deliberately skips the
+fixtures tree, so every group is linted with an explicit file list and
+``root=`` pointing at the fixtures directory (relative paths like
+``crossmod/leak_node.py`` become importable module names).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.errors import LintError
+from repro.lint.context import FileContext, ProjectContext
+from repro.lint.engine import run_lint
+from repro.lint.signatures import (
+    SignatureTable,
+    parse_signature_spec,
+    resolve_unit_token,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+CLEAN_CHAIN = [
+    "crossmod/clean_node.py",
+    "crossmod/clean_facility.py",
+    "crossmod/clean_accounting.py",
+]
+LEAK_CHAIN = [
+    "crossmod/leak_node.py",
+    "crossmod/leak_facility.py",
+    "crossmod/leak_accounting.py",
+]
+ASYNCSAFE = sorted(
+    f"asyncsafe/{p.name}" for p in (FIXTURES / "asyncsafe").glob("*.py")
+)
+SDCLOSE = sorted(
+    f"sdclose/{p.name}" for p in (FIXTURES / "sdclose").glob("*.py")
+)
+
+
+def lint_group(files: list[str]):
+    report = run_lint(files, root=FIXTURES)
+    assert not report.parse_errors, report.parse_errors
+    return report
+
+
+def located(report) -> list[tuple[str, int, str]]:
+    return [(f.path, f.line, f.code) for f in report.new_findings]
+
+
+def project_over(files: list[str]) -> ProjectContext:
+    contexts = [FileContext.from_path(FIXTURES / rel, FIXTURES) for rel in files]
+    return ProjectContext(root=FIXTURES, files=contexts)
+
+
+# -- interprocedural unit flow (REP103/REP104) ------------------------------
+
+
+def test_clean_chain_has_no_findings() -> None:
+    assert located(lint_group(CLEAN_CHAIN)) == []
+
+
+def test_three_module_kw_kwh_leak_is_caught() -> None:
+    report = lint_group(LEAK_CHAIN)
+    assert located(report) == [("crossmod/leak_accounting.py", 12, "REP104")]
+    (finding,) = report.new_findings
+    assert "_kw" in finding.message and "_kwh" in finding.message
+    assert "facility_draw" in finding.message
+
+
+def test_leak_needs_the_whole_chain() -> None:
+    # Linting the leaky file alone gives per-file knowledge only: the
+    # callee is unresolvable, so interprocedural checkers stay silent.
+    assert located(lint_group(["crossmod/leak_accounting.py"])) == []
+
+
+def test_signature_annotation_declares_and_silences_units() -> None:
+    report = lint_group(["crossmod/sig_override.py"])
+    assert located(report) == [
+        ("crossmod/sig_override.py", 29, "REP104"),
+        ("crossmod/sig_override.py", 34, "REP103"),
+    ]
+    rep103 = report.new_findings[1]
+    assert "total_kwh" in rep103.message and "_kw" in rep103.message
+
+
+# -- async safety (REP601/REP602/REP603) ------------------------------------
+
+
+def test_async_safety_fixture_findings_are_exact() -> None:
+    assert located(lint_group(ASYNCSAFE)) == [
+        ("asyncsafe/bad_lost_update.py", 13, "REP603"),
+        ("asyncsafe/bad_reach.py", 11, "REP601"),
+        ("asyncsafe/bad_sleep.py", 7, "REP601"),
+        ("asyncsafe/bad_unawaited.py", 11, "REP602"),
+        ("asyncsafe/bad_unawaited.py", 12, "REP602"),
+    ]
+
+
+def test_time_sleep_in_async_def_is_rep601() -> None:
+    report = lint_group(["asyncsafe/bad_sleep.py"])
+    assert located(report) == [("asyncsafe/bad_sleep.py", 7, "REP601")]
+    (finding,) = report.new_findings
+    assert "time.sleep" in finding.message
+
+
+def test_reached_blocking_primitive_reports_the_chain() -> None:
+    report = lint_group(
+        ["asyncsafe/bad_reach.py", "asyncsafe/blocking_helpers.py"]
+    )
+    (finding,) = report.new_findings
+    assert finding.code == "REP601"
+    assert "warm_cache" in finding.message
+    assert "time.sleep" in finding.message
+
+
+def test_allow_blocking_in_sync_helper_silences_async_call_site() -> None:
+    report = lint_group(
+        ["asyncsafe/good_reach.py", "asyncsafe/blocking_helpers.py"]
+    )
+    assert located(report) == []
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["good_sleep", "good_awaited", "good_lost_update"],
+)
+def test_async_good_fixtures_are_clean(name: str) -> None:
+    assert located(lint_group([f"asyncsafe/{name}.py"])) == []
+
+
+# -- state-dict closure (REP403/REP404) -------------------------------------
+
+
+def test_state_dict_closure_fixture_findings_are_exact() -> None:
+    assert located(lint_group(SDCLOSE)) == [
+        ("sdclose/bad_component.py", 12, "REP401"),
+        ("sdclose/bad_component.py", 24, "REP404"),
+        ("sdclose/bad_drop.py", 27, "REP403"),
+    ]
+
+
+def test_rep403_names_the_dropped_component() -> None:
+    report = lint_group(["sdclose/bad_drop.py"])
+    (finding,) = report.new_findings
+    assert finding.code == "REP403"
+    assert "self.gauge" in finding.message
+
+
+def test_rep404_names_the_incomplete_component_class() -> None:
+    report = lint_group(["sdclose/bad_component.py"])
+    rep404 = [f for f in report.new_findings if f.code == "REP404"]
+    (finding,) = rep404
+    assert "Feed" in finding.message
+    assert "load_state_dict" in finding.message
+
+
+def test_reconstruction_idiom_counts_as_restoring() -> None:
+    assert located(lint_group(["sdclose/good_closure.py"])) == []
+
+
+# -- project graph -----------------------------------------------------------
+
+
+def test_graph_resolves_cross_module_calls() -> None:
+    graph = project_over(LEAK_CHAIN).graph()
+    assert "crossmod.leak_facility.facility_draw" in graph.functions
+    assert "crossmod.leak_node.node_power_kw" in graph.functions
+
+
+def test_sync_reach_finds_the_blocking_helper() -> None:
+    graph = project_over(
+        ["asyncsafe/bad_reach.py", "asyncsafe/blocking_helpers.py"]
+    ).graph()
+    reach = graph.sync_reach("asyncsafe.bad_reach.serve")
+    assert "asyncsafe.blocking_helpers.warm_cache" in reach
+
+
+def test_class_has_method_walks_and_never_guesses() -> None:
+    graph = project_over(SDCLOSE).graph()
+    feed = "sdclose.bad_component.Feed"
+    assert graph.class_has_method(feed, "state_dict")
+    assert not graph.class_has_method(feed, "load_state_dict")
+    # Unknown classes may define anything: assume yes, stay silent.
+    assert graph.class_has_method("thirdparty.Unknown", "load_state_dict")
+
+
+# -- signature table ---------------------------------------------------------
+
+
+def test_parse_signature_spec_grammar() -> None:
+    params, ret = parse_signature_spec("power: kw, duration: s -> kwh")
+    assert params == {"power": "kw", "duration": "s"}
+    assert ret == "kwh"
+    assert parse_signature_spec("-> kw") == ({}, "kw")
+    assert parse_signature_spec("x: none") == ({"x": "none"}, None)
+
+
+@pytest.mark.parametrize("spec", ["power kw", "->", "power: -> kw"])
+def test_malformed_signature_spec_is_loud(spec: str) -> None:
+    with pytest.raises(LintError):
+        parse_signature_spec(spec)
+
+
+def test_unknown_unit_token_is_loud() -> None:
+    with pytest.raises(LintError, match="unknown unit token"):
+        resolve_unit_token("furlongs")
+    assert resolve_unit_token("none") is None
+    assert resolve_unit_token("kw") is not None
+
+
+def test_return_unit_inference_follows_the_chain() -> None:
+    table = project_over(LEAK_CHAIN).signature_table()
+    sig = table.signature_of("crossmod.leak_facility.facility_draw")
+    assert sig is not None
+    assert sig.origin == "inferred"
+    assert sig.returns is not None and sig.returns.token == "kw"
+
+
+def test_annotation_outranks_suffix_and_inference() -> None:
+    table = project_over(["crossmod/sig_override.py"]).signature_table()
+    declared = table.signature_of("crossmod.sig_override.grid_draw")
+    assert declared is not None and declared.origin == "annotation"
+    assert declared.returns is not None and declared.returns.token == "kw"
+    silenced = table.signature_of("crossmod.sig_override.scale_factor_kw")
+    assert silenced is not None and silenced.origin == "annotation"
+    assert silenced.returns is None and silenced.returns_unitless
+
+
+def test_dangling_signature_directive_is_loud(tmp_path: Path) -> None:
+    bad = tmp_path / "dangling.py"
+    bad.write_text("X = 1\n# lint: signature(-> kw)\n")
+    project = ProjectContext(
+        root=tmp_path, files=[FileContext.from_path(bad, tmp_path)]
+    )
+    with pytest.raises(LintError, match="does not attach"):
+        SignatureTable(project.graph())
+
+
+def test_unknown_parameter_in_directive_is_loud(tmp_path: Path) -> None:
+    bad = tmp_path / "unknown_param.py"
+    bad.write_text("def f(a):  # lint: signature(b: kw)\n    return a\n")
+    project = ProjectContext(
+        root=tmp_path, files=[FileContext.from_path(bad, tmp_path)]
+    )
+    with pytest.raises(LintError, match="unknown parameter"):
+        SignatureTable(project.graph())

@@ -102,8 +102,8 @@ class TestThermalProperties:
     def test_fixed_point_self_consistent(self, coolant, dynamic):
         thermal = ThermalModel()
         total = thermal.solve_node_power_w(coolant, dynamic)
-        t_j = thermal.junction_temperature_c(coolant, total)
-        assert abs(total - dynamic - thermal.leakage_w(t_j)) < 0.05
+        t_junction_c = thermal.junction_temperature_c(coolant, total)
+        assert abs(total - dynamic - thermal.leakage_w(t_junction_c)) < 0.05
 
     @given(
         st.floats(min_value=10.0, max_value=44.0, allow_nan=False),
